@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+The benchmarks regenerate every paper figure at a reduced-but-faithful
+scale (see DESIGN.md's scale note).  Each prints the same rows/series
+the paper reports, so ``pytest benchmarks/ --benchmark-only -s`` doubles
+as the reproduction's results run.  For the full-scale pass used in
+EXPERIMENTS.md, run ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+#: Benchmark-scale experiment configuration: one core, medium traces.
+BENCH_CONFIG = ExperimentConfig(instructions=700_000, cores=1, seed=42)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The shared benchmark experiment configuration."""
+    return BENCH_CONFIG
+
+
+def emit(result) -> None:
+    """Print an experiment's table (visible with ``-s``)."""
+    print()
+    print(result.to_table())

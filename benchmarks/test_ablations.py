@@ -1,0 +1,67 @@
+"""Ablations: the design-choice sweeps DESIGN.md calls out."""
+
+from dataclasses import replace
+
+from conftest import emit
+from repro.experiments.ablations import (
+    run_index_ablation,
+    run_replacement_ablation,
+    run_sab_ablation,
+    run_source_ablation,
+    run_temporal_ablation,
+)
+
+#: A two-workload slice keeps the ablation grid affordable.
+def _slice(config):
+    return replace(config, workloads=("oltp-db2", "web-apache"))
+
+
+def test_ablation_temporal_compactor(benchmark, bench_config):
+    result = benchmark.pedantic(run_temporal_ablation,
+                                args=(_slice(bench_config),),
+                                rounds=1, iterations=1)
+    emit(result)
+    for workload, row in result.coverage.items():
+        # Temporal compaction must not hurt, and the paper's 4 entries
+        # should be at least as good as none.
+        assert row["4"] >= row["0"] - 0.03, workload
+
+
+def test_ablation_sab_geometry(benchmark, bench_config):
+    result = benchmark.pedantic(run_sab_ablation,
+                                args=(_slice(bench_config),),
+                                rounds=1, iterations=1)
+    emit(result)
+    for workload, row in result.coverage.items():
+        # More than one concurrent stream is needed.
+        assert row["4x3"] >= row["1x3"] - 0.02, workload
+
+
+def test_ablation_index_capacity(benchmark, bench_config):
+    result = benchmark.pedantic(run_index_ablation,
+                                args=(_slice(bench_config),),
+                                rounds=1, iterations=1)
+    emit(result)
+    for workload, row in result.coverage.items():
+        assert row["unbounded"] >= row["256"] - 0.02, workload
+
+
+def test_ablation_record_source(benchmark, bench_config):
+    result = benchmark.pedantic(run_source_ablation,
+                                args=(_slice(bench_config),),
+                                rounds=1, iterations=1)
+    emit(result)
+    for workload, row in result.coverage.items():
+        # The paper's central claim inside one design: retire-order
+        # input must beat fetch-order input.
+        assert row["retire"] >= row["fetch"] - 0.01, workload
+
+
+def test_ablation_replacement_policy(benchmark, bench_config):
+    result = benchmark.pedantic(run_replacement_ablation,
+                                args=(_slice(bench_config),),
+                                rounds=1, iterations=1)
+    emit(result)
+    for workload, row in result.coverage.items():
+        # PIF's advantage is not an artifact of LRU.
+        assert min(row.values()) > 0.5, workload

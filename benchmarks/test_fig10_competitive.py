@@ -1,0 +1,28 @@
+"""Figure 10: competitive coverage and speedup comparison.
+
+Paper shape: PIF coverage ~near-perfect vs TIFS 65-90 % vs next-line
+lower still; speedups ordered baseline < next-line < TIFS < PIF <=
+perfect, with PIF close to the perfect L1-I.
+"""
+
+from conftest import emit
+from repro.experiments.fig10 import run_fig10
+
+
+def test_fig10(benchmark, bench_config):
+    result = benchmark.pedantic(run_fig10, args=(bench_config,),
+                                rounds=1, iterations=1)
+    emit(result)
+    assert result.pif_wins_everywhere()
+    for workload in bench_config.workloads:
+        coverage = result.coverage[workload]
+        assert coverage["pif"] > 0.75, workload
+        speedup = result.speedup[workload]
+        assert speedup["perfect"] >= speedup["pif"] - 0.03, workload
+        assert speedup["pif"] > 1.0, workload
+        assert speedup["pif"] >= speedup["tifs"] - 0.04, workload
+    # Average speedups, the paper's headline numbers.
+    print(f"\nmean speedups: next-line={result.mean_speedup('next-line'):.3f} "
+          f"tifs={result.mean_speedup('tifs'):.3f} "
+          f"pif={result.mean_speedup('pif'):.3f} "
+          f"perfect={result.mean_speedup('perfect'):.3f}")

@@ -1,0 +1,19 @@
+"""Figure 2: predictability of the four instruction-stream views.
+
+Paper shape: Miss < Access < Retire < RetireSep for every workload,
+with RetireSep approaching 100 %.
+"""
+
+from conftest import emit
+from repro.experiments.fig2 import run_fig2
+from repro.trace.records import StreamKind
+
+
+def test_fig2(benchmark, bench_config):
+    result = benchmark.pedantic(run_fig2, args=(bench_config,),
+                                rounds=1, iterations=1)
+    emit(result)
+    for workload in bench_config.workloads:
+        assert result.ordering_holds(workload, tolerance=0.03), workload
+        row = result.coverage[workload]
+        assert row[StreamKind.RETIRE_SEP] > 0.8

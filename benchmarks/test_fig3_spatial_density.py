@@ -1,0 +1,17 @@
+"""Figure 3: spatial-region density and discontinuity distributions.
+
+Paper shape: >50 % of regions touch more than one block; roughly a
+fifth of regions are internally discontinuous.
+"""
+
+from conftest import emit
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3(benchmark, bench_config):
+    result = benchmark.pedantic(run_fig3, args=(bench_config,),
+                                rounds=1, iterations=1)
+    emit(result)
+    for workload in bench_config.workloads:
+        assert result.multi_block_fraction(workload) > 0.40, workload
+        assert 0.02 < result.discontinuous_fraction(workload) < 0.7, workload

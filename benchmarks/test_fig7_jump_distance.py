@@ -1,0 +1,21 @@
+"""Figure 7: weighted jump distance in history.
+
+Paper shape: correct predictions come from a wide range of history
+depths — a meaningful share of prediction weight re-enters the history
+from far back, motivating deep history storage.
+"""
+
+from conftest import emit
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7(benchmark, bench_config):
+    result = benchmark.pedantic(run_fig7, args=(bench_config,),
+                                rounds=1, iterations=1)
+    emit(result)
+    for workload in bench_config.workloads:
+        cdf = result.cdf[workload]
+        assert cdf, workload
+        # Deep history matters: a visible share of prediction weight
+        # comes from jumps of at least 2^8 records back.
+        assert result.deep_fraction(workload, threshold_bin=8) > 0.05, workload

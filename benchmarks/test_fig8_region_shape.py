@@ -1,0 +1,25 @@
+"""Figure 8: accesses around the trigger and region-size sensitivity.
+
+Paper shape (left): offset +1 dominates, frequency decays with
+distance, and there is non-trivial mass at negative offsets (hence the
+2-preceding skew).  (Right): TL0 coverage mildly increasing in region
+size; TL1 strongly increasing.
+"""
+
+from conftest import emit
+from repro.experiments.fig8 import REGION_SIZES, run_fig8
+
+
+def test_fig8(benchmark, bench_config):
+    result = benchmark.pedantic(run_fig8, args=(bench_config,),
+                                rounds=1, iterations=1)
+    emit(result)
+    for workload in bench_config.workloads:
+        profile = result.offset_profile[workload]
+        assert profile[1] == max(profile.values()), workload
+        backward = sum(value for offset, value in profile.items()
+                       if offset < 0)
+        assert backward > 0.005, workload
+        sizes = result.size_coverage[workload]
+        assert sizes[REGION_SIZES[-1]][0] >= sizes[REGION_SIZES[0]][0] - 0.03, \
+            workload

@@ -1,0 +1,26 @@
+"""Figure 9: stream-length contribution and history-size sensitivity.
+
+Paper shape (left): medium/long streams contribute the bulk of correct
+predictions.  (Right): coverage monotone in history size with a knee.
+"""
+
+from conftest import emit
+from repro.experiments.fig9 import HISTORY_SIZES, run_fig9
+
+
+def test_fig9(benchmark, bench_config):
+    result = benchmark.pedantic(run_fig9, args=(bench_config,),
+                                rounds=1, iterations=1)
+    emit(result)
+    for workload in bench_config.workloads:
+        cdf = result.length_cdf[workload]
+        # Streams of length < 4 records (bins 0-1) contribute a
+        # minority of correct predictions.
+        short = 0.0
+        for bin_, value in sorted(cdf.items()):
+            if bin_ <= 1:
+                short = value
+        assert short < 0.6, workload
+        assert result.coverage_monotone(workload, tolerance=0.03), workload
+        series = result.history_coverage[workload]
+        assert series[HISTORY_SIZES[-1]] >= series[HISTORY_SIZES[0]]

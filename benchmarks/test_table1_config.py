@@ -1,0 +1,29 @@
+"""Table I: the simulated system and workload parameters.
+
+Not a measurement — this bench materializes every configuration object
+of the reproduction and prints the Table I equivalent, verifying the
+defaults stay the paper's values.
+"""
+
+from repro.common.config import PAPER_PIF, PAPER_SYSTEM
+from repro.workloads.spec import PAPER_WORKLOADS
+
+
+def test_table1_system_parameters(benchmark):
+    def build():
+        return PAPER_SYSTEM.describe()
+
+    description = benchmark(build)
+    assert description["cores"] == 16
+    assert description["l1i"]["capacity_bytes"] == 64 * 1024
+    assert description["branch"]["gshare_entries"] == 16 * 1024
+    assert description["pipeline"]["rob_entries"] == 96
+    assert PAPER_PIF.history_entries == 32 * 1024
+    print("\nTable I (system):")
+    for key, value in description.items():
+        print(f"  {key}: {value}")
+    print("Table I (workloads):")
+    for name, spec in PAPER_WORKLOADS.items():
+        print(f"  {name}: suite={spec.suite} footprint={spec.code_footprint_kb}KB "
+              f"transactions={spec.transaction_types} "
+              f"irq-interval={spec.interrupt_interval}")

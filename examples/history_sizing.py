@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""History sizing study: how much stream storage does PIF need?
+
+Reproduces the engineering trade-off of Section 5.4 (Figure 9 right) as
+a practitioner would use it: sweep the history buffer over a range of
+capacities on *your* workload, find the knee, and read off the SRAM
+budget.  Also prints the equivalent kilobytes assuming the paper's
+record layout (a ~38-bit trigger address plus a 7-bit vector ≈ 6 bytes
+per region record).
+"""
+
+from repro import CacheConfig
+from repro.pipeline.tracegen import cached_trace
+from repro.sim import build_view_events, measure_pif_predictability
+
+WORKLOADS = ("oltp-db2", "web-apache", "dss-qry2")
+SIZES = (256, 1024, 4096, 16384, 65536)
+CACHE = CacheConfig(capacity_bytes=32 * 1024, associativity=2)
+BYTES_PER_RECORD = 6
+
+def main() -> None:
+    header = f"{'workload':12s}" + "".join(f"{s:>10d}" for s in SIZES)
+    print(header + "   (history entries)")
+    print(" " * 12 + "".join(
+        f"{s * BYTES_PER_RECORD // 1024:>9d}K" for s in SIZES)
+        + "   (approx. SRAM)")
+    for workload in WORKLOADS:
+        bundle = cached_trace(workload, 600_000, 42).bundle
+        views = build_view_events(bundle, CACHE)
+        row = []
+        for size in SIZES:
+            oracle = measure_pif_predictability(
+                bundle, history_entries=size, cache_config=CACHE,
+                view_events=views, warmup_fraction=0.4)
+            row.append(oracle.coverage())
+        print(f"{workload:12s}" + "".join(f"{c:>10.1%}" for c in row))
+    print()
+    print("Read the knee: capacity beyond which coverage stops improving.")
+    print("The paper settles on 32K regions; at this reproduction's scale")
+    print("the knee sits lower because footprints are scaled with the cache.")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Prefetcher shootout: every engine vs every workload (Figure 10 style).
+
+Compares next-line, stride, discontinuity, TIFS and PIF on miss
+coverage and timing-model speedup over all six paper workloads.  This is
+the example to start from when adding a new prefetch engine: implement
+:class:`repro.prefetch.base.Prefetcher`, add it to ``ENGINES`` below,
+and see where it lands.
+"""
+
+from dataclasses import replace
+
+from repro import CacheConfig, PIFConfig, ProactiveInstructionFetch, SystemConfig
+from repro.pipeline.tracegen import cached_trace
+from repro.prefetch import make_prefetcher
+from repro.sim import run_prefetch_simulation, speedup_comparison
+from repro.workloads.spec import WORKLOAD_NAMES
+
+INSTRUCTIONS = 500_000
+SEED = 42
+CACHE = CacheConfig(capacity_bytes=32 * 1024, associativity=2)
+
+def engines():
+    return {
+        "next-line": make_prefetcher("next-line"),
+        "stride": make_prefetcher("stride"),
+        "discont": make_prefetcher("discontinuity"),
+        "tifs": make_prefetcher("tifs"),
+        "pif": ProactiveInstructionFetch(PIFConfig(sab_window_regions=3)),
+    }
+
+def main() -> None:
+    names = list(engines())
+    print(f"{'workload':12s}  " + "  ".join(f"{n:>9s}" for n in names)
+          + "   (miss coverage)")
+    for workload in WORKLOAD_NAMES:
+        bundle = cached_trace(workload, INSTRUCTIONS, SEED).bundle
+        cells = []
+        for name, engine in engines().items():
+            sim = run_prefetch_simulation(bundle, engine, cache_config=CACHE,
+                                          warmup_fraction=0.4)
+            cells.append(f"{sim.coverage():9.1%}")
+        print(f"{workload:12s}  " + "  ".join(cells))
+
+    print()
+    system = replace(SystemConfig(), l1i=CACHE)
+    print(f"{'workload':12s}  " + "  ".join(f"{n:>9s}" for n in names)
+          + f"  {'perfect':>9s}   (speedup)")
+    for workload in WORKLOAD_NAMES:
+        bundle = cached_trace(workload, INSTRUCTIONS, SEED).bundle
+        comparison = speedup_comparison(bundle, engines(), system=system,
+                                        warmup_fraction=0.4)
+        cells = [f"{comparison[n]:9.3f}" for n in names]
+        cells.append(f"{comparison['perfect']:9.3f}")
+        print(f"{workload:12s}  " + "  ".join(cells))
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline with old
+setuptools (no wheel package available in this environment)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro: a reproduction of "Proactive Instruction Fetch" (MICRO 2011).
+
+The package implements the PIF instruction prefetcher, every substrate
+it depends on (synthetic server workloads, a fetch/retire pipeline
+model, branch predictors, an L1-I cache model), the baselines it is
+compared against (next-line, TIFS, discontinuity, stride), and the full
+evaluation harness regenerating each figure of the paper.
+
+Quick start::
+
+    from repro import generate_trace, ProactiveInstructionFetch
+    from repro.sim import run_prefetch_simulation
+
+    trace = generate_trace("oltp-db2", instructions=400_000, seed=1)
+    result = run_prefetch_simulation(trace.bundle,
+                                     ProactiveInstructionFetch())
+    print(f"miss coverage: {result.coverage():.1%}")
+"""
+
+from .common.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    MemoryConfig,
+    PIFConfig,
+    PipelineConfig,
+    SystemConfig,
+)
+from .core.pif import AccessOrderPIF, ProactiveInstructionFetch
+from .pipeline.tracegen import GeneratedTrace, cached_trace, generate_trace
+from .prefetch import make_prefetcher
+from .trace.bundle import TraceBundle
+from .workloads.spec import PAPER_WORKLOADS, WORKLOAD_NAMES, get_spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "MemoryConfig",
+    "PIFConfig",
+    "PipelineConfig",
+    "SystemConfig",
+    "AccessOrderPIF",
+    "ProactiveInstructionFetch",
+    "GeneratedTrace",
+    "cached_trace",
+    "generate_trace",
+    "make_prefetcher",
+    "TraceBundle",
+    "PAPER_WORKLOADS",
+    "WORKLOAD_NAMES",
+    "get_spec",
+    "__version__",
+]

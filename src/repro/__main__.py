@@ -1,0 +1,5 @@
+"""``python -m repro`` dispatches to the CLI."""
+
+from .cli import main
+
+raise SystemExit(main())

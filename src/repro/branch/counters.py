@@ -1,0 +1,78 @@
+"""Saturating-counter tables, the building block of every predictor here."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SaturatingCounter:
+    """An n-bit up/down saturating counter.
+
+    The conventional 2-bit encoding is used by default: 0-1 predict
+    not-taken, 2-3 predict taken; the initial value is *weakly taken*
+    so cold predictors favour fall-through loops being taken, matching
+    common hardware initialization.
+    """
+
+    def __init__(self, bits: int = 2, initial: int = 2) -> None:
+        if bits <= 0:
+            raise ValueError("counter needs at least one bit")
+        self.maximum = (1 << bits) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError(f"initial value {initial} out of range")
+        self.value = initial
+
+    @property
+    def taken(self) -> bool:
+        """Current prediction."""
+        return self.value > self.maximum // 2
+
+    def update(self, outcome: bool) -> None:
+        """Train toward ``outcome``."""
+        if outcome:
+            if self.value < self.maximum:
+                self.value += 1
+        elif self.value > 0:
+            self.value -= 1
+
+
+class CounterTable:
+    """A direct-indexed table of 2-bit counters stored as a flat list.
+
+    Storing raw ints (not :class:`SaturatingCounter` objects) keeps the
+    predictor's inner loop allocation-free; the class above remains the
+    readable single-counter reference implementation used in tests.
+    """
+
+    def __init__(self, entries: int, bits: int = 2, initial: int = 2) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError(f"entries must be a positive power of two, got {entries}")
+        self.entries = entries
+        self.maximum = (1 << bits) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError(f"initial value {initial} out of range")
+        self._mask = entries - 1
+        self._threshold = self.maximum // 2
+        self._values: List[int] = [initial] * entries
+
+    def index(self, key: int) -> int:
+        """Table slot for ``key`` (low bits)."""
+        return key & self._mask
+
+    def predict(self, key: int) -> bool:
+        """Predicted direction for ``key``."""
+        return self._values[key & self._mask] > self._threshold
+
+    def update(self, key: int, outcome: bool) -> None:
+        """Train the counter selected by ``key`` toward ``outcome``."""
+        slot = key & self._mask
+        value = self._values[slot]
+        if outcome:
+            if value < self.maximum:
+                self._values[slot] = value + 1
+        elif value > 0:
+            self._values[slot] = value - 1
+
+    def raw_value(self, key: int) -> int:
+        """Counter value (exposed for tests)."""
+        return self._values[key & self._mask]

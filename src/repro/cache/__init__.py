@@ -1,0 +1,28 @@
+"""Instruction-cache substrate: set-associative model, MSHRs, line buffer."""
+
+from .icache import AccessResult, InstructionCache
+from .line_buffer import LineBuffer
+from .mshr import MSHRFile, OutstandingFill
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from .stats import CacheStats, CoverageAccounting
+
+__all__ = [
+    "AccessResult",
+    "InstructionCache",
+    "LineBuffer",
+    "MSHRFile",
+    "OutstandingFill",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+    "CacheStats",
+    "CoverageAccounting",
+]

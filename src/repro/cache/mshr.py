@@ -1,0 +1,72 @@
+"""Miss-status holding registers (MSHRs).
+
+The timing model uses MSHRs for two things the paper's evaluation
+depends on: merging a demand request into an already-outstanding
+prefetch (a *late* prefetch still hides part of the fill latency), and
+bounding the number of in-flight fills (Table I: 32 MSHRs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(slots=True)
+class OutstandingFill:
+    """One in-flight fill."""
+
+    block: int
+    ready_at: int
+    is_prefetch: bool
+
+
+class MSHRFile:
+    """A bounded table of in-flight block fills keyed by block address."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._fills: Dict[int, OutstandingFill] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.rejects_full = 0
+
+    def __len__(self) -> int:
+        return len(self._fills)
+
+    def lookup(self, block: int) -> Optional[OutstandingFill]:
+        """The outstanding fill for ``block``, if any."""
+        return self._fills.get(block)
+
+    def allocate(self, block: int, ready_at: int, is_prefetch: bool) -> bool:
+        """Track a new fill; returns False (and counts a reject) when full.
+
+        If the block already has an outstanding fill the request merges:
+        a demand merge converts a prefetch entry to demand so accounting
+        downstream can attribute the (partially hidden) latency.
+        """
+        existing = self._fills.get(block)
+        if existing is not None:
+            self.merges += 1
+            if not is_prefetch:
+                existing.is_prefetch = False
+            return True
+        if len(self._fills) >= self.capacity:
+            self.rejects_full += 1
+            return False
+        self._fills[block] = OutstandingFill(block, ready_at, is_prefetch)
+        self.allocations += 1
+        return True
+
+    def drain_ready(self, now: int):
+        """Pop and return every fill whose data has arrived by ``now``."""
+        ready = [fill for fill in self._fills.values() if fill.ready_at <= now]
+        for fill in ready:
+            del self._fills[fill.block]
+        return ready
+
+    def clear(self) -> None:
+        """Forget all in-flight fills (used between measurement windows)."""
+        self._fills.clear()

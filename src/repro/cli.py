@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the everyday workflows:
+
+* ``trace``    — generate a workload trace, print its characterization,
+  optionally save it as a ``.npz`` bundle for external tools;
+* ``simulate`` — run one prefetch engine over one workload and report
+  coverage/accuracy (the quickstart, without writing code);
+* ``compare``  — the Figure 10 matrix for a chosen set of engines.
+
+The full figure-by-figure evaluation lives in
+``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .common.config import CacheConfig, PIFConfig
+from .core.pif import ProactiveInstructionFetch
+from .pipeline.tracegen import cached_trace, generate_trace
+from .prefetch import make_prefetcher
+from .sim.tracesim import run_prefetch_simulation
+from .trace.serialize import save_bundle
+from .trace.stats import analyze_block_stream
+from .workloads.spec import WORKLOAD_NAMES
+
+#: Engine names the CLI accepts (PIF gets the experiment-scale window).
+ENGINE_NAMES = ("none", "next-line", "next-line-miss", "stride",
+                "discontinuity", "tifs", "pif")
+
+
+def _engine(name: str):
+    if name == "pif":
+        return ProactiveInstructionFetch(PIFConfig(sab_window_regions=3))
+    return make_prefetcher(name)
+
+
+def _cache(kilobytes: int) -> CacheConfig:
+    return CacheConfig(capacity_bytes=kilobytes * 1024, associativity=2)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="oltp-db2",
+                        choices=sorted(WORKLOAD_NAMES))
+    parser.add_argument("--instructions", type=int, default=400_000)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--cache-kb", type=int, default=32,
+                        help="L1-I capacity in KB (2-way)")
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Generate and characterize one trace."""
+    trace = generate_trace(args.workload, instructions=args.instructions,
+                           seed=args.seed)
+    bundle = trace.bundle
+    stats = analyze_block_stream(bundle.retire_blocks())
+    print(f"workload            {bundle.workload}")
+    print(f"instructions        {bundle.instructions:,}")
+    print(f"retire records      {len(bundle.retires):,}")
+    print(f"fetch accesses      {len(bundle.accesses):,}")
+    print(f"wrong-path fraction {bundle.wrong_path_fraction():.1%}")
+    print(f"touched footprint   {bundle.footprint_blocks() * 64 // 1024} KB")
+    print(f"sequential fraction {stats.sequential_fraction:.1%}")
+    print(f"branch accuracy     "
+          f"{trace.frontend_stats.conditional_accuracy():.1%}")
+    if args.output:
+        path = save_bundle(bundle, args.output)
+        print(f"saved               {path}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one engine over one workload."""
+    bundle = cached_trace(args.workload, args.instructions, args.seed).bundle
+    engine = _engine(args.engine)
+    result = run_prefetch_simulation(bundle, engine,
+                                     cache_config=_cache(args.cache_kb),
+                                     warmup_fraction=args.warmup)
+    print(f"engine              {engine.name}")
+    print(f"baseline misses     {result.baseline_misses:,}")
+    print(f"remaining misses    {result.remaining_misses:,}")
+    print(f"miss coverage       {result.coverage():.1%}")
+    print(f"prefetches issued   {result.prefetches_issued:,}")
+    if result.cache_stats is not None:
+        print(f"prefetch accuracy   "
+              f"{result.cache_stats.prefetch_accuracy():.1%}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Coverage matrix: chosen engines over all six workloads."""
+    engines = args.engines.split(",")
+    for name in engines:
+        if name not in ENGINE_NAMES:
+            print(f"unknown engine {name!r}; choose from {ENGINE_NAMES}",
+                  file=sys.stderr)
+            return 2
+    print(f"{'workload':12s}  " + "  ".join(f"{n:>10s}" for n in engines))
+    for workload in WORKLOAD_NAMES:
+        bundle = cached_trace(workload, args.instructions, args.seed).bundle
+        cells = []
+        for name in engines:
+            result = run_prefetch_simulation(
+                bundle, _engine(name), cache_config=_cache(args.cache_kb),
+                warmup_fraction=args.warmup)
+            cells.append(f"{result.coverage():10.1%}")
+        print(f"{workload:12s}  " + "  ".join(cells))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Proactive Instruction Fetch reproduction toolkit")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    trace = commands.add_parser("trace", help="generate + characterize a trace")
+    _add_common(trace)
+    trace.add_argument("--output", default=None,
+                       help="save the bundle to this .npz path")
+    trace.set_defaults(func=cmd_trace)
+
+    simulate = commands.add_parser("simulate",
+                                   help="run one prefetch engine")
+    _add_common(simulate)
+    simulate.add_argument("--engine", default="pif", choices=ENGINE_NAMES)
+    simulate.add_argument("--warmup", type=float, default=0.4)
+    simulate.set_defaults(func=cmd_simulate)
+
+    compare = commands.add_parser("compare",
+                                  help="coverage matrix over all workloads")
+    _add_common(compare)
+    compare.add_argument("--engines", default="next-line,tifs,pif",
+                         help="comma-separated engine list")
+    compare.add_argument("--warmup", type=float, default=0.4)
+    compare.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

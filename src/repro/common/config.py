@@ -1,0 +1,176 @@
+"""Configuration dataclasses mirroring Table I of the paper.
+
+Every model in the reproduction is constructed from one of these frozen
+dataclasses so that an experiment's full parameterization is a single
+serializable value.  Defaults reproduce the paper's simulated system:
+a 16-core CMP with 64 KB 2-way L1-I caches, a hybrid 16K gshare + 16K
+bimodal branch predictor, a 96-entry ROB and 3-wide retirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any, Dict
+
+from .addressing import DEFAULT_BLOCK_BYTES, RegionGeometry, block_bits_for
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Geometry and timing of one cache (defaults: the paper's L1-I)."""
+
+    capacity_bytes: int = 64 * 1024
+    associativity: int = 2
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+    hit_latency: int = 2
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        block_bits_for(self.block_bytes)
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.capacity_bytes % (self.block_bytes * self.associativity):
+            raise ValueError(
+                "capacity must be a whole number of sets: "
+                f"{self.capacity_bytes} B / ({self.block_bytes} B x "
+                f"{self.associativity} ways) is fractional"
+            )
+        if self.replacement not in ("lru", "random", "fifo"):
+            raise ValueError(f"unknown replacement policy {self.replacement!r}")
+
+    @property
+    def n_blocks(self) -> int:
+        """Total block frames in the cache."""
+        return self.capacity_bytes // self.block_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.n_blocks // self.associativity
+
+
+@dataclass(frozen=True, slots=True)
+class BranchPredictorConfig:
+    """The paper's hybrid predictor: 16K-entry gshare + 16K-entry bimodal."""
+
+    gshare_entries: int = 16 * 1024
+    bimodal_entries: int = 16 * 1024
+    chooser_entries: int = 16 * 1024
+    history_bits: int = 14
+    btb_entries: int = 4 * 1024
+    ras_depth: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("gshare_entries", "bimodal_entries", "chooser_entries",
+                     "btb_entries"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{name} must be a positive power of two, got {value}")
+        if not 0 < self.history_bits <= 32:
+            raise ValueError("history_bits must be in (0, 32]")
+        if self.ras_depth <= 0:
+            raise ValueError("ras_depth must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    """Front-end/back-end parameters of one core (Table I)."""
+
+    fetch_width_blocks: int = 1
+    retire_width: int = 3
+    rob_entries: int = 96
+    fetch_queue_entries: int = 24
+    min_resolve_latency: int = 6
+    max_resolve_latency: int = 40
+
+    def __post_init__(self) -> None:
+        if self.retire_width <= 0 or self.rob_entries <= 0:
+            raise ValueError("pipeline widths must be positive")
+        if not 0 < self.min_resolve_latency <= self.max_resolve_latency:
+            raise ValueError(
+                "resolve latency range must satisfy 0 < min <= max, got "
+                f"[{self.min_resolve_latency}, {self.max_resolve_latency}]"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryConfig:
+    """Latency of the levels behind the L1-I, in core cycles (Table I:
+    15-cycle L2 hit, 45 ns memory at 2 GHz = 90 cycles).
+    """
+
+    l2_hit_latency: int = 15
+    memory_latency: int = 90
+    l2_miss_rate: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.l2_hit_latency <= 0 or self.memory_latency <= 0:
+            raise ValueError("latencies must be positive")
+        if not 0.0 <= self.l2_miss_rate <= 1.0:
+            raise ValueError("l2_miss_rate must be a probability")
+
+    def expected_fill_latency(self) -> float:
+        """Mean L1-I fill latency given the modelled L2 miss rate."""
+        return (1.0 - self.l2_miss_rate) * self.l2_hit_latency + (
+            self.l2_miss_rate * self.memory_latency
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SystemConfig:
+    """The complete per-core system model: Table I in one value."""
+
+    cores: int = 16
+    l1i: CacheConfig = field(default_factory=CacheConfig)
+    branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+
+    def describe(self) -> Dict[str, Any]:
+        """A flat dictionary view, convenient for experiment logs."""
+        return asdict(self)
+
+
+@dataclass(frozen=True, slots=True)
+class PIFConfig:
+    """Parameters of the Proactive Instruction Fetch hardware (Section 4).
+
+    Defaults are the paper's chosen operating point: 8-block spatial
+    regions skewed forward (2 preceding + 5 succeeding), a 4-entry
+    temporal compactor, a 32 K-region history buffer, and four 7-region
+    stream address buffers.
+    """
+
+    geometry: RegionGeometry = field(default_factory=RegionGeometry)
+    temporal_compactor_entries: int = 4
+    history_entries: int = 32 * 1024
+    index_entries: int = 4 * 1024
+    index_associativity: int = 8
+    sab_count: int = 4
+    sab_window_regions: int = 7
+    prefetch_queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.temporal_compactor_entries < 0:
+            raise ValueError("temporal compactor size cannot be negative")
+        if self.history_entries <= 0:
+            raise ValueError("history buffer must hold at least one record")
+        if self.index_entries <= 0 or self.index_associativity <= 0:
+            raise ValueError("index table geometry must be positive")
+        if self.index_entries % self.index_associativity:
+            raise ValueError("index entries must divide evenly into ways")
+        if self.sab_count <= 0 or self.sab_window_regions <= 0:
+            raise ValueError("SAB geometry must be positive")
+        if self.prefetch_queue_depth <= 0:
+            raise ValueError("prefetch queue must hold at least one request")
+
+
+#: The configuration used for every headline result in the paper.
+PAPER_SYSTEM = SystemConfig()
+
+#: The PIF operating point the paper evaluates.
+PAPER_PIF = PIFConfig()

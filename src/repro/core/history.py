@@ -1,0 +1,152 @@
+"""History buffer and index table.
+
+These two structures are shared by PIF (region-granularity records,
+Section 4.2) and by the GHB-style baselines and trace-study oracles
+(block-granularity records): a circular FIFO holding the recorded
+stream, and a bounded set-associative index mapping a trigger key to the
+most recent history position where its stream begins.
+
+Positions are *monotonic sequence numbers*, not raw array slots: a
+reader can always tell whether a position has been overwritten, which is
+what bounds effective history depth (the Figure 9 right sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+from ..common.lru import LRUCache
+
+R = TypeVar("R")
+
+
+class HistoryBuffer(Generic[R]):
+    """A circular buffer of records addressed by monotonic position.
+
+    ``capacity=None`` gives the unbounded history of the trace studies
+    (a growing list); bounded instances overwrite FIFO-style, which is
+    what makes old streams unreachable (the Figure 9 right effect).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("history capacity must be positive")
+        self.capacity = capacity
+        self._ring: List[Optional[R]] = [] if capacity is None else [None] * capacity
+        self._next_position = 0
+
+    @property
+    def tail(self) -> int:
+        """Position the next append will occupy."""
+        return self._next_position
+
+    @property
+    def oldest_live(self) -> int:
+        """Smallest position still resident."""
+        if self.capacity is None:
+            return 0
+        return max(0, self._next_position - self.capacity)
+
+    def append(self, record: R) -> int:
+        """Store ``record``; return its position."""
+        position = self._next_position
+        if self.capacity is None:
+            self._ring.append(record)
+        else:
+            self._ring[position % self.capacity] = record
+        self._next_position += 1
+        return position
+
+    def read(self, position: int) -> Optional[R]:
+        """The record at ``position``, or None if overwritten/unwritten."""
+        if position < 0 or position >= self._next_position:
+            return None
+        if self.capacity is None:
+            return self._ring[position]
+        if position < self.oldest_live:
+            return None
+        return self._ring[position % self.capacity]
+
+    def read_run(self, position: int, count: int) -> List[Tuple[int, R]]:
+        """Up to ``count`` consecutive live records starting at ``position``.
+
+        Returns (position, record) pairs; stops early at the tail or at
+        an overwritten region.
+        """
+        result: List[Tuple[int, R]] = []
+        for offset in range(count):
+            record = self.read(position + offset)
+            if record is None:
+                break
+            result.append((position + offset, record))
+        return result
+
+    def __len__(self) -> int:
+        if self.capacity is None:
+            return self._next_position
+        return min(self._next_position, self.capacity)
+
+
+class IndexTable:
+    """Trigger-key to history-position mapping.
+
+    ``capacity=None`` models the unbounded index of the trace studies
+    (Sections 2 and 3); bounded instances use a set-associative layout
+    with per-set LRU, matching a cache-like hardware budget
+    (Section 4.2).
+    """
+
+    def __init__(self, capacity: Optional[int] = None,
+                 associativity: int = 8) -> None:
+        if capacity is not None:
+            if capacity <= 0 or associativity <= 0:
+                raise ValueError("index geometry must be positive")
+            if capacity % associativity:
+                raise ValueError("capacity must divide evenly into ways")
+        self.capacity = capacity
+        self.associativity = associativity
+        self.insertions = 0
+        self.hits = 0
+        self.misses = 0
+        if capacity is None:
+            self._unbounded: dict = {}
+            self._sets: List[LRUCache[int, int]] = []
+        else:
+            self._unbounded = {}
+            self._sets = [
+                LRUCache(associativity)
+                for _ in range(capacity // associativity)
+            ]
+
+    def _set_for(self, key: int) -> LRUCache[int, int]:
+        # Trigger PCs are region heads and therefore strongly aligned
+        # (often block-aligned, frequently sharing layout strides); a
+        # plain low-bits index would leave most sets empty.  XOR-folding
+        # the upper PC bits in spreads aligned keys over all sets.
+        folded = (key >> 2) ^ (key >> 9) ^ (key >> 17)
+        return self._sets[folded % len(self._sets)]
+
+    def insert(self, key: int, position: int) -> None:
+        """Map ``key`` to ``position`` (replacing any older mapping)."""
+        self.insertions += 1
+        if self.capacity is None:
+            self._unbounded[key] = position
+        else:
+            self._set_for(key).put(key, position)
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Most recent recorded position for ``key``, or None."""
+        if self.capacity is None:
+            position = self._unbounded.get(key)
+        else:
+            position = self._set_for(key).get(key)
+        if position is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return position
+
+    def __len__(self) -> int:
+        if self.capacity is None:
+            return len(self._unbounded)
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,151 @@
+"""Stream address buffers (Section 4.3, Figure 6).
+
+An SAB is one active replay of a recorded stream: it holds a window of
+consecutive spatial-region records read from the history buffer, watches
+the core's L1-I fetches, and advances its history pointer whenever a
+fetch lands inside the window — issuing prefetches for the records that
+slide into view.  A small LRU-managed file of SABs supports several
+concurrent streams (the paper uses four, each tracking seven regions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..common.addressing import RegionGeometry
+from ..common.lru import LRUCache
+from .history import HistoryBuffer
+from .spatial import SpatialRegionRecord
+
+
+class StreamAddressBuffer:
+    """One active prediction stream."""
+
+    def __init__(self, geometry: RegionGeometry, window_regions: int,
+                 block_bytes: int = 64) -> None:
+        if window_regions <= 0:
+            raise ValueError("window_regions must be positive")
+        self.geometry = geometry
+        self.window_regions = window_regions
+        self.block_bytes = block_bytes
+        #: Next history position to read when the window slides.
+        self.pointer = 0
+        #: Window entries: (history position, record).
+        self.window: List[Tuple[int, SpatialRegionRecord]] = []
+        #: block address -> index of the first window region covering it.
+        self._block_map: Dict[int, int] = {}
+        self.matches = 0
+        self.regions_replayed = 0
+
+    # ------------------------------------------------------------------
+
+    def allocate(self, history: HistoryBuffer[SpatialRegionRecord],
+                 start_position: int) -> List[int]:
+        """Point the SAB at ``start_position`` and fill the window.
+
+        Returns the block addresses of the initial window, in replay
+        order — the initial prefetch burst.
+        """
+        self.pointer = start_position
+        self.window = []
+        self._block_map = {}
+        return self._refill(history)
+
+    def covers(self, block: int) -> bool:
+        """True if ``block`` is inside the current window."""
+        return block in self._block_map
+
+    def advance(self, history: HistoryBuffer[SpatialRegionRecord],
+                block: int) -> Optional[List[int]]:
+        """Advance past ``block`` if it matches the window.
+
+        Returns new prefetch candidates (possibly empty) on a match,
+        None when the block is not part of this stream.
+        """
+        slot = self._block_map.get(block)
+        if slot is None:
+            return None
+        self.matches += 1
+        if slot == 0:
+            # Still in the head region: the pointer does not move.
+            return []
+        self.window = self.window[slot:]
+        self._rebuild_block_map()
+        return self._refill(history)
+
+    # ------------------------------------------------------------------
+
+    def _refill(self, history: HistoryBuffer[SpatialRegionRecord]
+                ) -> List[int]:
+        """Read records at ``pointer`` until the window is full; return
+        the blocks of the newly read records in replay order."""
+        new_blocks: List[int] = []
+        needed = self.window_regions - len(self.window)
+        if needed <= 0:
+            return new_blocks
+        run = history.read_run(self.pointer, needed)
+        for position, record in run:
+            slot = len(self.window)
+            self.window.append((position, record))
+            self.regions_replayed += 1
+            for block in record.blocks(self.geometry, self.block_bytes):
+                self._block_map.setdefault(block, slot)
+                new_blocks.append(block)
+        if run:
+            self.pointer = run[-1][0] + 1
+        return new_blocks
+
+    def _rebuild_block_map(self) -> None:
+        self._block_map = {}
+        for slot, (_, record) in enumerate(self.window):
+            for block in record.blocks(self.geometry, self.block_bytes):
+                self._block_map.setdefault(block, slot)
+
+
+class SABFile:
+    """The file of concurrent SABs with LRU replacement."""
+
+    def __init__(self, geometry: RegionGeometry, count: int = 4,
+                 window_regions: int = 7, block_bytes: int = 64) -> None:
+        if count <= 0:
+            raise ValueError("need at least one SAB")
+        self.geometry = geometry
+        self.count = count
+        self.window_regions = window_regions
+        self.block_bytes = block_bytes
+        self._sabs: LRUCache[int, StreamAddressBuffer] = LRUCache(count)
+        self._next_id = 0
+        self.allocations = 0
+
+    def advance(self, history: HistoryBuffer[SpatialRegionRecord],
+                block: int) -> Optional[List[int]]:
+        """Offer a fetched block to every active SAB (MRU first).
+
+        Returns the new prefetch candidates from the first SAB that
+        matches, or None when no active stream covers the block.
+        """
+        for sab_id, sab in list(self._sabs.items_mru_first()):
+            result = sab.advance(history, block)
+            if result is not None:
+                self._sabs.promote(sab_id)
+                return result
+        return None
+
+    def allocate(self, history: HistoryBuffer[SpatialRegionRecord],
+                 start_position: int) -> List[int]:
+        """Start a new stream, evicting the LRU SAB if the file is full."""
+        self.allocations += 1
+        sab = StreamAddressBuffer(self.geometry, self.window_regions,
+                                  self.block_bytes)
+        blocks = sab.allocate(history, start_position)
+        self._next_id += 1
+        self._sabs.put(self._next_id, sab)
+        return blocks
+
+    def active_streams(self) -> List[StreamAddressBuffer]:
+        """Current SABs, MRU first (for tests and introspection)."""
+        return [sab for _, sab in self._sabs.items_mru_first()]
+
+    def reset(self) -> None:
+        """Drop all active streams."""
+        self._sabs.clear()

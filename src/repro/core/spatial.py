@@ -1,0 +1,135 @@
+"""Spatial compaction of the retire-order stream (Section 4.1, Figure 5).
+
+The spatial compactor turns the block-run-collapsed retire stream into
+*spatial region records*: a trigger PC plus a bit vector over the
+neighbouring blocks of the region anchored at the trigger's block.  A
+new region opens whenever a retired instruction falls outside the
+current region's bounds; the closed region is emitted downstream (to the
+temporal compactor).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+from ..common.addressing import RegionGeometry, block_bits_for
+from ..common.bitvec import BitVector
+
+
+class SpatialRegionRecord(NamedTuple):
+    """One history-buffer entry: a trigger and its region bit vector.
+
+    ``bits`` is the raw mask of a :class:`BitVector` laid out by the
+    owning geometry (preceding blocks first); storing the mask keeps the
+    record a flat, hashable tuple.  ``tagged`` is the PIF fetch-stage
+    tag of the *trigger* instruction — it decides index insertion.
+    """
+
+    trigger_pc: int
+    bits: int
+    tagged: bool
+
+    def bit_vector(self, geometry: RegionGeometry) -> BitVector:
+        """The record's bit vector under ``geometry``."""
+        return BitVector(geometry.preceding + geometry.succeeding, self.bits)
+
+    def trigger_block(self, block_bytes: int = 64) -> int:
+        """Block address of the trigger instruction."""
+        return self.trigger_pc >> block_bits_for(block_bytes)
+
+    def blocks(self, geometry: RegionGeometry,
+               block_bytes: int = 64) -> List[int]:
+        """All encoded block addresses in replay order.
+
+        The trigger block comes first, then bit-vector blocks left to
+        right — the order the paper replays them (Section 4.3).
+        """
+        trigger = self.trigger_block(block_bytes)
+        ordered = [trigger]
+        vector = self.bit_vector(geometry)
+        for index in vector.set_bits():
+            ordered.append(trigger + geometry.offset_for_bit(index))
+        return ordered
+
+    def block_count(self, geometry: RegionGeometry) -> int:
+        """Number of encoded blocks including the trigger."""
+        return 1 + self.bit_vector(geometry).popcount()
+
+    def is_subset_of(self, other: "SpatialRegionRecord",
+                     geometry: RegionGeometry) -> bool:
+        """The temporal compactor's discard test: same trigger and the
+        incoming vector adds no blocks."""
+        if self.trigger_pc != other.trigger_pc:
+            return False
+        return self.bits & ~other.bits == 0
+
+
+class SpatialCompactor:
+    """Builds spatial region records from retired block-run PCs.
+
+    Feed it the (pc, tagged) pairs of the collapsed retire stream; it
+    returns a completed region record whenever one closes.  Call
+    :meth:`flush` at end of trace to recover the open region.
+    """
+
+    def __init__(self, geometry: Optional[RegionGeometry] = None,
+                 block_bytes: int = 64) -> None:
+        self.geometry = geometry if geometry is not None else RegionGeometry()
+        self._block_bits = block_bits_for(block_bytes)
+        self._trigger_pc: Optional[int] = None
+        self._trigger_block: int = 0
+        self._bits: int = 0
+        self._tagged: bool = False
+        self.regions_emitted = 0
+
+    def feed(self, pc: int, tagged: bool = False
+             ) -> Optional[SpatialRegionRecord]:
+        """Observe one retired block-run record; maybe emit a region."""
+        block = pc >> self._block_bits
+        if self._trigger_pc is None:
+            self._open(pc, block, tagged)
+            return None
+        offset = block - self._trigger_block
+        if offset == 0:
+            # Re-entry of the trigger block (a tight loop inside one
+            # block): nothing to record, the trigger is implicit.
+            return None
+        if self.geometry.contains_offset(offset):
+            self._bits |= 1 << self.geometry.bit_index(offset)
+            return None
+        emitted = self._emit()
+        self._open(pc, block, tagged)
+        return emitted
+
+    def flush(self) -> Optional[SpatialRegionRecord]:
+        """Close and return the open region (None if none is open)."""
+        if self._trigger_pc is None:
+            return None
+        emitted = self._emit()
+        self._trigger_pc = None
+        return emitted
+
+    def _open(self, pc: int, block: int, tagged: bool) -> None:
+        self._trigger_pc = pc
+        self._trigger_block = block
+        self._bits = 0
+        self._tagged = tagged
+
+    def _emit(self) -> SpatialRegionRecord:
+        assert self._trigger_pc is not None
+        self.regions_emitted += 1
+        return SpatialRegionRecord(self._trigger_pc, self._bits, self._tagged)
+
+
+def compact_stream(pcs: Iterable[Tuple[int, bool]],
+                   geometry: Optional[RegionGeometry] = None,
+                   block_bytes: int = 64) -> Iterator[SpatialRegionRecord]:
+    """Run a whole (pc, tagged) stream through a fresh spatial compactor."""
+    compactor = SpatialCompactor(geometry, block_bytes)
+    for pc, tagged in pcs:
+        record = compactor.feed(pc, tagged)
+        if record is not None:
+            yield record
+    final = compactor.flush()
+    if final is not None:
+        yield final

@@ -1,0 +1,65 @@
+"""Temporal compaction of region records (Section 4.1, Figure 5 steps 4-7).
+
+Tight loops spanning several blocks re-emit the same spatial region
+record once per iteration.  Recording every iteration would waste
+history capacity *and* make streams less repetitive (the trip count is
+data-dependent).  The temporal compactor holds the few most recent
+region records; an incoming record that matches a tracked one — same
+trigger and a bit-vector subset — is discarded and the tracked record
+promoted to MRU; anything else is recorded to the history buffer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.lru import LRUCache
+from .spatial import SpatialRegionRecord
+
+
+class TemporalCompactor:
+    """An LRU filter of recently recorded spatial region records.
+
+    ``entries=0`` disables temporal compaction entirely (the spatial-only
+    ablation): every record passes through.
+    """
+
+    def __init__(self, entries: int = 4) -> None:
+        if entries < 0:
+            raise ValueError("entries cannot be negative")
+        self.entries = entries
+        self._recent: LRUCache[int, SpatialRegionRecord] = LRUCache(entries)
+        self.discarded = 0
+        self.passed = 0
+
+    def feed(self, record: SpatialRegionRecord
+             ) -> Optional[SpatialRegionRecord]:
+        """Filter one record; return it if it should be recorded."""
+        if self.entries == 0:
+            self.passed += 1
+            return record
+        tracked = self._recent.peek(record.trigger_pc)
+        if tracked is not None and record.bits & ~tracked.bits == 0:
+            # Subset of a tracked record: a loop iteration re-covering
+            # known blocks.  Discard and promote (Figure 5, step 7).
+            self._recent.promote(record.trigger_pc)
+            self.discarded += 1
+            return None
+        self._recent.put(record.trigger_pc, record)
+        self.passed += 1
+        return record
+
+    def compaction_ratio(self) -> float:
+        """Fraction of incoming records discarded."""
+        total = self.discarded + self.passed
+        return self.discarded / total if total else 0.0
+
+    def tracked_records(self) -> List[SpatialRegionRecord]:
+        """Current contents, MRU first (exposed for tests)."""
+        return [record for _, record in self._recent.items_mru_first()]
+
+    def reset(self) -> None:
+        """Forget all tracked records and counters."""
+        self._recent.clear()
+        self.discarded = 0
+        self.passed = 0

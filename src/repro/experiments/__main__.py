@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` runs the full evaluation."""
+
+from .runner import main
+
+raise SystemExit(main())

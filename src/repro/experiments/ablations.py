@@ -1,0 +1,160 @@
+"""Ablation studies beyond the paper's headline figures.
+
+Each ablation varies exactly one design decision DESIGN.md calls out:
+
+* ``temporal``   — temporal compactor size 0/1/2/4/8 (0 disables it);
+* ``sab``        — SAB count x window-depth grid (the paper's footnote 2
+                   empirically tuned these; we reproduce the tuning curve);
+* ``index``      — bounded index-table capacity sweep;
+* ``source``     — the same PIF hardware fed retire-order vs fetch-order
+                   streams (the paper's central claim, isolated);
+* ``replacement``— L1 replacement policy interaction (LRU/FIFO/random).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from ..common.config import CacheConfig, PIFConfig
+from ..core.pif import AccessOrderPIF, ProactiveInstructionFetch
+from ..sim.tracesim import run_prefetch_simulation
+from .common import ExperimentConfig, format_table, mean, percent, traces_for
+
+#: Temporal compactor sizes swept.
+TEMPORAL_SIZES: Tuple[int, ...] = (0, 1, 2, 4, 8)
+
+#: (SAB count, window regions) grid.
+SAB_GRID: Tuple[Tuple[int, int], ...] = ((1, 3), (2, 3), (4, 3), (4, 5),
+                                         (4, 7), (8, 3))
+
+#: Index capacities swept (entries).
+INDEX_SIZES: Tuple[int, ...] = (256, 1024, 4096, 16384)
+
+#: L1 replacement policies compared.
+REPLACEMENT_POLICIES: Tuple[str, ...] = ("lru", "fifo", "random")
+
+
+@dataclass(slots=True)
+class AblationResult:
+    """One named sweep: {workload: {setting label: coverage}}."""
+
+    name: str
+    config: ExperimentConfig
+    coverage: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        """The sweep as an ASCII table."""
+        settings = list(next(iter(self.coverage.values())).keys())
+        headers = ["workload"] + settings
+        rows = [
+            [workload] + [percent(row[s]) for s in settings]
+            for workload, row in self.coverage.items()
+        ]
+        return format_table(headers, rows, title=f"Ablation: {self.name}")
+
+
+def _simulate(config: ExperimentConfig, workload: str, engine_factory,
+              cache: CacheConfig = None) -> float:
+    cache_config = cache if cache is not None else config.cache
+    coverages: List[float] = []
+    for trace in traces_for(config, workload):
+        sim = run_prefetch_simulation(
+            trace.bundle, engine_factory(), cache_config=cache_config,
+            warmup_fraction=config.warmup_fraction)
+        coverages.append(sim.coverage())
+    return mean(coverages)
+
+
+def run_temporal_ablation(config: ExperimentConfig) -> AblationResult:
+    """Temporal compactor size sweep (0 = spatial-only compaction)."""
+    result = AblationResult("temporal compactor entries", config)
+    for workload in config.workloads:
+        row: Dict[str, float] = {}
+        for size in TEMPORAL_SIZES:
+            pif_config = replace(config.pif, temporal_compactor_entries=size)
+            row[str(size)] = _simulate(
+                config, workload,
+                lambda: ProactiveInstructionFetch(
+                    pif_config, block_bytes=config.cache.block_bytes))
+        result.coverage[workload] = row
+    return result
+
+
+def run_sab_ablation(config: ExperimentConfig) -> AblationResult:
+    """SAB count x window grid (reproduces the footnote 2 tuning)."""
+    result = AblationResult("SAB count x window", config)
+    for workload in config.workloads:
+        row: Dict[str, float] = {}
+        for count, window in SAB_GRID:
+            pif_config = replace(config.pif, sab_count=count,
+                                 sab_window_regions=window)
+            row[f"{count}x{window}"] = _simulate(
+                config, workload,
+                lambda: ProactiveInstructionFetch(
+                    pif_config, block_bytes=config.cache.block_bytes))
+        result.coverage[workload] = row
+    return result
+
+
+def run_index_ablation(config: ExperimentConfig) -> AblationResult:
+    """Bounded index capacity sweep plus the unbounded reference."""
+    result = AblationResult("index table entries", config)
+    for workload in config.workloads:
+        row: Dict[str, float] = {}
+        for entries in INDEX_SIZES:
+            pif_config = replace(config.pif, index_entries=entries)
+            row[str(entries)] = _simulate(
+                config, workload,
+                lambda: ProactiveInstructionFetch(
+                    pif_config, block_bytes=config.cache.block_bytes))
+        row["unbounded"] = _simulate(
+            config, workload,
+            lambda: ProactiveInstructionFetch(
+                config.pif, block_bytes=config.cache.block_bytes,
+                unbounded_index=True))
+        result.coverage[workload] = row
+    return result
+
+
+def run_source_ablation(config: ExperimentConfig) -> AblationResult:
+    """Retire-order vs fetch-order input to identical PIF hardware."""
+    result = AblationResult("record source (retire vs fetch order)", config)
+    for workload in config.workloads:
+        retire = _simulate(
+            config, workload,
+            lambda: ProactiveInstructionFetch(
+                config.pif, block_bytes=config.cache.block_bytes))
+        access = _simulate(
+            config, workload,
+            lambda: AccessOrderPIF(
+                config.pif, block_bytes=config.cache.block_bytes))
+        result.coverage[workload] = {"retire": retire, "fetch": access}
+    return result
+
+
+def run_replacement_ablation(config: ExperimentConfig) -> AblationResult:
+    """PIF coverage under different L1 replacement policies."""
+    result = AblationResult("L1 replacement policy", config)
+    for workload in config.workloads:
+        row: Dict[str, float] = {}
+        for policy in REPLACEMENT_POLICIES:
+            cache = replace(config.cache, replacement=policy)
+            row[policy] = _simulate(
+                config, workload,
+                lambda: ProactiveInstructionFetch(
+                    config.pif, block_bytes=config.cache.block_bytes),
+                cache=cache)
+        result.coverage[workload] = row
+    return result
+
+
+def run_all_ablations(config: ExperimentConfig) -> List[AblationResult]:
+    """Every ablation, in DESIGN.md order."""
+    return [
+        run_temporal_ablation(config),
+        run_sab_ablation(config),
+        run_index_ablation(config),
+        run_source_ablation(config),
+        run_replacement_ablation(config),
+    ]

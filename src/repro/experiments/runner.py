@@ -1,0 +1,85 @@
+"""Run every paper experiment and print the tables.
+
+Usage::
+
+    python -m repro.experiments [--quick] [--instructions N] [--cores N]
+
+This is the reproduction's equivalent of the paper's full evaluation
+pass; EXPERIMENTS.md records a captured run next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import List
+
+from .ablations import run_all_ablations
+from .common import ExperimentConfig, QUICK_CONFIG
+from .fig2 import run_fig2
+from .fig3 import run_fig3
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .fig9 import run_fig9
+from .fig10 import run_fig10
+
+
+def run_all(config: ExperimentConfig, include_ablations: bool = True,
+            stream=None) -> List[object]:
+    """Run every experiment, printing each table as it completes."""
+    out = stream if stream is not None else sys.stdout
+    results: List[object] = []
+
+    def emit(result) -> None:
+        results.append(result)
+        print(result.to_table(), file=out)
+        print(file=out)
+
+    started = time.time()
+    for runner in (run_fig2, run_fig3, run_fig7, run_fig8, run_fig9,
+                   run_fig10):
+        step_start = time.time()
+        emit(runner(config))
+        print(f"[{runner.__name__} took {time.time() - step_start:.1f}s]\n",
+              file=out)
+    if include_ablations:
+        for ablation in run_all_ablations(config):
+            emit(ablation)
+    print(f"Total: {time.time() - started:.1f}s", file=out)
+    return results
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce every figure of 'Proactive Instruction Fetch'")
+    parser.add_argument("--quick", action="store_true",
+                        help="small traces for a fast smoke run")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="trace length per core")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="cores (independent traces) per workload")
+    parser.add_argument("--seed", type=int, default=None, help="root seed")
+    parser.add_argument("--no-ablations", action="store_true",
+                        help="skip the ablation sweeps")
+    args = parser.parse_args(argv)
+
+    config = QUICK_CONFIG if args.quick else ExperimentConfig()
+    overrides = {}
+    if args.instructions is not None:
+        overrides["instructions"] = args.instructions
+    if args.cores is not None:
+        overrides["cores"] = args.cores
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = replace(config, **overrides)
+
+    run_all(config, include_ablations=not args.no_ablations)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Spatial-region characterization (Figures 3 and 8 left).
+
+These studies run the retire stream through a *wide* observation
+geometry — wider than the hardware would ever use — and histogram what
+the regions look like: how many blocks each region touches (density),
+whether the touched blocks are contiguous (discontinuity), and where
+accesses fall relative to the trigger (the offset profile that justifies
+the 2-preceding/5-succeeding skew).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..common.addressing import RegionGeometry
+from ..core.spatial import SpatialRegionRecord, compact_stream
+from ..trace.records import RetiredInstruction
+
+#: Wide geometry used for characterization: 4 blocks preceding, 27
+#: succeeding (32-block window, matching Figure 3's largest bucket).
+WIDE_GEOMETRY = RegionGeometry(preceding=4, succeeding=27)
+
+#: Geometry for the Figure 8 (left) offset profile: -4 .. +12.
+OFFSET_GEOMETRY = RegionGeometry(preceding=4, succeeding=12)
+
+#: Figure 3 density buckets: (label, lowest count, highest count).
+DENSITY_BUCKETS: Tuple[Tuple[str, int, int], ...] = (
+    ("1", 1, 1),
+    ("2", 2, 2),
+    ("3-4", 3, 4),
+    ("5-8", 5, 8),
+    ("9-16", 9, 16),
+    ("17-32", 17, 32),
+)
+
+#: Figure 3 (right) discontinuity buckets over contiguous-group counts.
+GROUP_BUCKETS: Tuple[Tuple[str, int, int], ...] = (
+    ("1", 1, 1),
+    ("2", 2, 2),
+    ("3-4", 3, 4),
+    ("5-8", 5, 8),
+    ("9-16", 9, 16),
+)
+
+
+def regions_of(retires: Sequence[RetiredInstruction],
+               geometry: RegionGeometry) -> List[SpatialRegionRecord]:
+    """Compact a retire stream into region records under ``geometry``."""
+    return list(compact_stream(((r.pc, False) for r in retires), geometry))
+
+
+def _bucket_label(count: int,
+                  buckets: Tuple[Tuple[str, int, int], ...]) -> str:
+    for label, low, high in buckets:
+        if low <= count <= high:
+            return label
+    return buckets[-1][0]
+
+
+def density_distribution(retires: Sequence[RetiredInstruction],
+                         geometry: RegionGeometry = WIDE_GEOMETRY
+                         ) -> Dict[str, float]:
+    """Figure 3 (left): fraction of regions per unique-block-count bucket."""
+    counts: Counter = Counter()
+    total = 0
+    for record in regions_of(retires, geometry):
+        blocks = record.block_count(geometry)
+        counts[_bucket_label(blocks, DENSITY_BUCKETS)] += 1
+        total += 1
+    if total == 0:
+        return {label: 0.0 for label, _, _ in DENSITY_BUCKETS}
+    return {label: counts.get(label, 0) / total
+            for label, _, _ in DENSITY_BUCKETS}
+
+
+def contiguous_groups(record: SpatialRegionRecord,
+                      geometry: RegionGeometry) -> int:
+    """Number of contiguous block groups in a region (trigger included).
+
+    A region touching blocks {-1, 0, 1, 4, 5} has two groups:
+    [-1..1] and [4..5].  One group means a purely sequential region that
+    a next-line prefetcher could cover; more groups are the carefully
+    crafted skips of Figure 3 (right).
+    """
+    offsets = sorted(
+        [0] + [geometry.offset_for_bit(i)
+               for i in record.bit_vector(geometry).set_bits()])
+    groups = 1
+    for previous, current in zip(offsets, offsets[1:]):
+        if current != previous + 1:
+            groups += 1
+    return groups
+
+
+def discontinuity_distribution(retires: Sequence[RetiredInstruction],
+                               geometry: RegionGeometry = WIDE_GEOMETRY
+                               ) -> Dict[str, float]:
+    """Figure 3 (right): fraction of regions per contiguous-group bucket."""
+    counts: Counter = Counter()
+    total = 0
+    for record in regions_of(retires, geometry):
+        groups = contiguous_groups(record, geometry)
+        counts[_bucket_label(groups, GROUP_BUCKETS)] += 1
+        total += 1
+    if total == 0:
+        return {label: 0.0 for label, _, _ in GROUP_BUCKETS}
+    return {label: counts.get(label, 0) / total
+            for label, _, _ in GROUP_BUCKETS}
+
+
+def trigger_offset_profile(retires: Sequence[RetiredInstruction],
+                           geometry: RegionGeometry = OFFSET_GEOMETRY
+                           ) -> Dict[int, float]:
+    """Figure 8 (left): access frequency by offset from the trigger.
+
+    Returns {offset: fraction of all non-trigger region references},
+    offsets from ``-geometry.preceding`` to ``+geometry.succeeding``
+    excluding 0 (the trigger itself, by definition always accessed).
+    """
+    counts: Counter = Counter()
+    total = 0
+    for record in regions_of(retires, geometry):
+        for bit in record.bit_vector(geometry).set_bits():
+            offset = geometry.offset_for_bit(bit)
+            counts[offset] += 1
+            total += 1
+    profile: Dict[int, float] = {}
+    for offset in geometry.offsets():
+        profile[offset] = counts.get(offset, 0) / total if total else 0.0
+    return profile
+
+
+def merge_distributions(distributions: Iterable[Dict[str, float]]
+                        ) -> Dict[str, float]:
+    """Average several per-core distributions into one."""
+    merged: Dict[str, float] = {}
+    count = 0
+    for distribution in distributions:
+        count += 1
+        for key, value in distribution.items():
+            merged[key] = merged.get(key, 0.0) + value
+    if count == 0:
+        return merged
+    return {key: value / count for key, value in merged.items()}

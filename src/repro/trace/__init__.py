@@ -1,0 +1,55 @@
+"""Instruction-trace records, bundles, stream views, stats, and storage."""
+
+from .bundle import TraceBundle, merge_statistics
+from .records import (
+    TL_APPLICATION,
+    TL_INTERRUPT,
+    FetchAccess,
+    RetiredInstruction,
+    StreamKind,
+)
+from .serialize import load_bundle, save_bundle
+from .stats import (
+    StreamStats,
+    analyze_block_stream,
+    repetition_score,
+    reuse_distance_histogram,
+    run_length_distribution,
+    stream_overlap,
+    summarize_streams,
+)
+from .streams import (
+    access_block_stream,
+    collapse_block_runs,
+    correct_path_block_stream,
+    deduplicate_consecutive,
+    retire_block_stream,
+    split_stream_by_trap_level,
+    unique_blocks,
+)
+
+__all__ = [
+    "TraceBundle",
+    "merge_statistics",
+    "TL_APPLICATION",
+    "TL_INTERRUPT",
+    "FetchAccess",
+    "RetiredInstruction",
+    "StreamKind",
+    "load_bundle",
+    "save_bundle",
+    "StreamStats",
+    "analyze_block_stream",
+    "repetition_score",
+    "reuse_distance_histogram",
+    "run_length_distribution",
+    "stream_overlap",
+    "summarize_streams",
+    "access_block_stream",
+    "collapse_block_runs",
+    "correct_path_block_stream",
+    "deduplicate_consecutive",
+    "retire_block_stream",
+    "split_stream_by_trap_level",
+    "unique_blocks",
+]

@@ -1,0 +1,121 @@
+"""A trace bundle: everything one simulated core produced.
+
+Experiments consume traces, not live pipelines, so that (a) the same
+trace can be replayed against many prefetcher configurations — the
+paper's own methodology ("the processor behavior is undisturbed by the
+experiment", Section 2.1) — and (b) trace generation cost is paid once
+per workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..common.addressing import DEFAULT_BLOCK_BYTES, block_of
+from .records import FetchAccess, RetiredInstruction, TL_APPLICATION
+
+
+@dataclass(slots=True)
+class TraceBundle:
+    """The paired access/retire streams of one core plus provenance.
+
+    Attributes:
+        workload: name of the generating workload model.
+        core: index of the simulated core (0-based).
+        seed: root RNG seed the trace was generated from.
+        block_bytes: cache-block size the access stream was produced at.
+        retires: correct-path retire-order records (block-run collapsed).
+        accesses: front-end access stream including wrong-path noise.
+        instructions: number of *instructions* retired (pre-collapse),
+            kept for UIPC computation.
+    """
+
+    workload: str
+    core: int
+    seed: int
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+    retires: List[RetiredInstruction] = field(default_factory=list)
+    accesses: List[FetchAccess] = field(default_factory=list)
+    instructions: int = 0
+
+    def retire_blocks(self) -> List[int]:
+        """Block addresses of the retire stream, in order."""
+        return [block_of(r.pc, self.block_bytes) for r in self.retires]
+
+    def correct_path_accesses(self) -> List[FetchAccess]:
+        """The access stream with wrong-path requests removed."""
+        return [a for a in self.accesses if not a.wrong_path]
+
+    def application_retires(self) -> List[RetiredInstruction]:
+        """Retire records at trap level 0 only."""
+        return [r for r in self.retires if r.trap_level == TL_APPLICATION]
+
+    def wrong_path_fraction(self) -> float:
+        """Fraction of front-end accesses that were wrong-path."""
+        if not self.accesses:
+            return 0.0
+        wrong = sum(1 for a in self.accesses if a.wrong_path)
+        return wrong / len(self.accesses)
+
+    def footprint_blocks(self) -> int:
+        """Number of distinct correct-path instruction blocks touched."""
+        return len({block_of(r.pc, self.block_bytes) for r in self.retires})
+
+    def split_by_trap_level(self) -> Dict[int, List[RetiredInstruction]]:
+        """Retire records grouped by trap level (the RetireSep view)."""
+        groups: Dict[int, List[RetiredInstruction]] = {}
+        for record in self.retires:
+            groups.setdefault(record.trap_level, []).append(record)
+        return groups
+
+    def validate(self) -> None:
+        """Raise ValueError if the bundle violates basic invariants."""
+        if self.instructions < len(self.retires):
+            raise ValueError(
+                "instruction count cannot be below the collapsed retire count: "
+                f"{self.instructions} < {len(self.retires)}"
+            )
+        for record in self.retires:
+            if record.pc < 0:
+                raise ValueError(f"negative PC in retire stream: {record}")
+        previous_block = None
+        for record in self.retires:
+            block = block_of(record.pc, self.block_bytes)
+            if block == previous_block:
+                raise ValueError(
+                    "retire stream is not block-run collapsed at "
+                    f"pc={record.pc:#x}"
+                )
+            previous_block = block
+        for access in self.accesses:
+            if access.block != block_of(access.pc, self.block_bytes):
+                raise ValueError(
+                    f"access block/pc mismatch: {access!r} with "
+                    f"block_bytes={self.block_bytes}"
+                )
+
+
+def merge_statistics(bundles: Sequence[TraceBundle]) -> Dict[str, float]:
+    """Aggregate headline statistics over per-core bundles.
+
+    Returns a dictionary with total instruction count, mean wrong-path
+    fraction, and the union instruction footprint in blocks — the
+    numbers experiments print alongside their results for sanity
+    checking against the paper's workload characterization.
+    """
+    if not bundles:
+        raise ValueError("need at least one bundle")
+    footprint: set = set()
+    instructions = 0
+    wrong_path = 0.0
+    for bundle in bundles:
+        instructions += bundle.instructions
+        wrong_path += bundle.wrong_path_fraction()
+        block_bytes = bundle.block_bytes
+        footprint.update(block_of(r.pc, block_bytes) for r in bundle.retires)
+    return {
+        "instructions": float(instructions),
+        "mean_wrong_path_fraction": wrong_path / len(bundles),
+        "union_footprint_blocks": float(len(footprint)),
+    }

@@ -1,0 +1,65 @@
+"""Record types for instruction traces.
+
+Two streams flow out of the pipeline model, mirroring the two
+observation points the paper contrasts (Section 2):
+
+* the **fetch/access stream** — block-granularity requests issued by the
+  front-end, including wrong-path requests injected by branch
+  mispredictions (:class:`FetchAccess`);
+* the **retire stream** — correct-path instructions in retirement order
+  (:class:`RetiredInstruction`), already collapsed to one record per
+  run of same-block PCs, which is exactly the granularity the PIF
+  compactor consumes (Section 4.1: "consecutively retired PCs belonging
+  to the same instruction block [collapse] into a single address").
+
+``NamedTuple`` is used rather than a dataclass because these records are
+created tens of millions of times in trace generation; tuple creation is
+the cheapest structured allocation CPython offers.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: Trap level of ordinary application/OS-service execution.
+TL_APPLICATION = 0
+
+#: Trap level of spontaneous hardware-interrupt handlers.
+TL_INTERRUPT = 1
+
+
+class RetiredInstruction(NamedTuple):
+    """One correct-path, retire-order record (block-run collapsed).
+
+    ``pc`` is the address of the *first* instruction retired in this
+    block run — the candidate trigger PC if this record opens a new
+    spatial region.
+    """
+
+    pc: int
+    trap_level: int
+
+
+class FetchAccess(NamedTuple):
+    """One front-end instruction-cache access at block granularity.
+
+    ``wrong_path`` marks requests issued beyond a mispredicted branch
+    and later squashed; they pollute the access stream exactly as the
+    paper's Figure 1 (right) illustrates.
+    """
+
+    block: int
+    pc: int
+    trap_level: int
+    wrong_path: bool
+
+
+class StreamKind:
+    """Names for the four observation points compared in Figure 2."""
+
+    MISS = "miss"
+    ACCESS = "access"
+    RETIRE = "retire"
+    RETIRE_SEP = "retire_sep"
+
+    ALL = (MISS, ACCESS, RETIRE, RETIRE_SEP)

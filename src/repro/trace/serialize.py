@@ -1,0 +1,93 @@
+"""Compact on-disk format for trace bundles.
+
+Traces are stored as ``.npz`` archives of parallel numpy arrays — a few
+bytes per record instead of Python-object overhead — so a workload's
+trace can be generated once and replayed across the whole experiment
+matrix.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .bundle import TraceBundle
+from .records import FetchAccess, RetiredInstruction
+
+_FORMAT_VERSION = 1
+
+
+def save_bundle(bundle: TraceBundle, path: Union[str, Path]) -> Path:
+    """Serialize ``bundle`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    meta = {
+        "version": _FORMAT_VERSION,
+        "workload": bundle.workload,
+        "core": bundle.core,
+        "seed": bundle.seed,
+        "block_bytes": bundle.block_bytes,
+        "instructions": bundle.instructions,
+    }
+    retire_pc = np.fromiter((r.pc for r in bundle.retires), dtype=np.uint64,
+                            count=len(bundle.retires))
+    retire_tl = np.fromiter((r.trap_level for r in bundle.retires), dtype=np.uint8,
+                            count=len(bundle.retires))
+    access_block = np.fromiter((a.block for a in bundle.accesses), dtype=np.uint64,
+                               count=len(bundle.accesses))
+    access_pc = np.fromiter((a.pc for a in bundle.accesses), dtype=np.uint64,
+                            count=len(bundle.accesses))
+    access_tl = np.fromiter((a.trap_level for a in bundle.accesses), dtype=np.uint8,
+                            count=len(bundle.accesses))
+    access_wp = np.fromiter((a.wrong_path for a in bundle.accesses), dtype=np.bool_,
+                            count=len(bundle.accesses))
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        retire_pc=retire_pc,
+        retire_tl=retire_tl,
+        access_block=access_block,
+        access_pc=access_pc,
+        access_tl=access_tl,
+        access_wp=access_wp,
+    )
+    return path
+
+
+def load_bundle(path: Union[str, Path]) -> TraceBundle:
+    """Deserialize a bundle previously written by :func:`save_bundle`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        if meta.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {meta.get('version')!r} "
+                f"in {path}"
+            )
+        retires = [
+            RetiredInstruction(int(pc), int(tl))
+            for pc, tl in zip(archive["retire_pc"], archive["retire_tl"])
+        ]
+        accesses = [
+            FetchAccess(int(block), int(pc), int(tl), bool(wp))
+            for block, pc, tl, wp in zip(
+                archive["access_block"],
+                archive["access_pc"],
+                archive["access_tl"],
+                archive["access_wp"],
+            )
+        ]
+    bundle = TraceBundle(
+        workload=meta["workload"],
+        core=meta["core"],
+        seed=meta["seed"],
+        block_bytes=meta["block_bytes"],
+        retires=retires,
+        accesses=accesses,
+        instructions=meta["instructions"],
+    )
+    return bundle

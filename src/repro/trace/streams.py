@@ -1,0 +1,86 @@
+"""Stream transformations between the observation points of Figure 2.
+
+The paper compares the predictability of four views of the same
+execution: the cache *miss* stream, the front-end *access* stream, the
+*retire* stream, and the retire stream *separated by trap level*.  The
+helpers here derive each view from a :class:`~repro.trace.bundle.TraceBundle`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..common.addressing import DEFAULT_BLOCK_BYTES, block_of
+from .records import FetchAccess, RetiredInstruction
+
+
+def collapse_block_runs(
+    pcs: Iterable[Tuple[int, int]], block_bytes: int = DEFAULT_BLOCK_BYTES
+) -> Iterator[RetiredInstruction]:
+    """Collapse consecutive (pc, trap_level) pairs in the same block.
+
+    This is the first stage of the PIF compactor (Section 4.1) applied
+    eagerly at trace-recording time.  A new record is emitted whenever
+    the block address *or* the trap level changes — a handler entering
+    mid-block must still start a fresh record because the RetireSep view
+    files it in a different stream.
+    """
+    previous_block = None
+    previous_tl = None
+    for pc, trap_level in pcs:
+        block = block_of(pc, block_bytes)
+        if block != previous_block or trap_level != previous_tl:
+            yield RetiredInstruction(pc, trap_level)
+            previous_block = block
+            previous_tl = trap_level
+
+
+def retire_block_stream(
+    retires: Sequence[RetiredInstruction], block_bytes: int = DEFAULT_BLOCK_BYTES
+) -> List[int]:
+    """Block addresses of a retire stream in order."""
+    return [block_of(r.pc, block_bytes) for r in retires]
+
+
+def access_block_stream(accesses: Sequence[FetchAccess]) -> List[int]:
+    """Block addresses of a fetch/access stream in order (incl. wrong path)."""
+    return [a.block for a in accesses]
+
+
+def correct_path_block_stream(accesses: Sequence[FetchAccess]) -> List[int]:
+    """Block addresses of the correct-path subsequence of an access stream."""
+    return [a.block for a in accesses if not a.wrong_path]
+
+
+def split_stream_by_trap_level(
+    retires: Sequence[RetiredInstruction],
+) -> List[Tuple[int, List[RetiredInstruction]]]:
+    """Partition a retire stream into per-trap-level streams.
+
+    Returns (trap_level, stream) pairs ordered by trap level.  Relative
+    order *within* each level is preserved; interleaving across levels is
+    deliberately discarded — that is the whole point of the RetireSep
+    view (Section 2.3).
+    """
+    groups: dict = {}
+    for record in retires:
+        groups.setdefault(record.trap_level, []).append(record)
+    return sorted(groups.items())
+
+
+def unique_blocks(blocks: Iterable[int]) -> int:
+    """Cardinality of a block stream's footprint."""
+    return len(set(blocks))
+
+
+def deduplicate_consecutive(blocks: Iterable[int]) -> Iterator[int]:
+    """Drop immediate repeats from a block stream.
+
+    Useful when deriving block streams from raw PC traces that have not
+    been run-collapsed.
+    """
+    previous = object()
+    for block in blocks:
+        if block != previous:
+            yield block
+            previous = block

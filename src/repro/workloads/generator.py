@@ -1,0 +1,485 @@
+"""Synthetic program generation.
+
+Builds a :class:`~repro.workloads.program.SyntheticProgram` from a
+:class:`~repro.workloads.spec.WorkloadSpec`.  The generator reproduces
+the structural properties the paper's analysis depends on:
+
+* functions are contiguous runs of basic blocks, so instruction fetch is
+  mostly sequential within a function (spatial regions are dense,
+  Figure 3 left);
+* local forward branches skip over blocks (error paths, cold code),
+  producing the *discontinuous* spatial regions of Figure 3 (right);
+* loops — sometimes enclosing calls to leaf helpers — produce the
+  temporal-locality redundancy the temporal compactor removes;
+* a static, level-structured call graph with Zipf-popular shared helpers
+  spreads execution across a multi-megabyte code layout, defeating a
+  64 KB L1-I;
+* transaction roots called from a dispatcher loop make the retire-order
+  stream highly repetitive at large scale, which is the property PIF
+  exploits.
+
+Generation is fully deterministic given (spec, seed).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..common.addressing import INSTRUCTION_BYTES
+from ..common.rng import make_rng
+from .program import BasicBlock, BlockKind, Function, SyntheticProgram
+from .spec import WorkloadSpec
+
+#: Base address of application text.
+APPLICATION_TEXT_BASE = 0x0040_0000
+
+#: Base address of interrupt-handler (kernel) text.
+HANDLER_TEXT_BASE = 0x8000_0000
+
+#: Hard cap on basic-block size, in instructions.
+_MAX_BLOCK_INSTRUCTIONS = 24
+
+#: Minimum basic-block size: the terminator needs to be a distinct PC.
+_MIN_BLOCK_INSTRUCTIONS = 2
+
+#: Fraction of call sites that target the Zipf-popular shared helpers.
+_HELPER_CALL_FRACTION = 0.25
+
+
+@dataclass(slots=True)
+class _BlockPlan:
+    """A basic block before layout: targets are symbolic."""
+
+    instructions: int
+    kind: str = BlockKind.FALLTHROUGH
+    local_target: Optional[int] = None
+    callee: Optional[int] = None
+    taken_probability: float = 0.0
+    mean_iterations: float = 0.0
+
+
+@dataclass(slots=True)
+class _FunctionPlan:
+    """A function before layout."""
+
+    name: str
+    level: int
+    blocks: List[_BlockPlan] = field(default_factory=list)
+    is_handler: bool = False
+
+
+def _geometric(rng: random.Random, mean: float) -> int:
+    """A geometric draw with the given mean, minimum 1."""
+    if mean <= 1.0:
+        return 1
+    success = 1.0 / mean
+    u = rng.random()
+    return max(1, int(math.log(1.0 - u) / math.log(1.0 - success)) + 1)
+
+
+def _block_count(rng: random.Random, mean: float) -> int:
+    """Basic-block count for one function (at least 2: body + return)."""
+    return max(2, _geometric(rng, mean))
+
+
+def _block_size(rng: random.Random, mean: float) -> int:
+    """Instruction count for one basic block."""
+    size = _geometric(rng, mean)
+    return max(_MIN_BLOCK_INSTRUCTIONS, min(_MAX_BLOCK_INSTRUCTIONS, size))
+
+
+def _zipf_weights(count: int, exponent: float = 1.0) -> List[float]:
+    """Zipf popularity weights for ``count`` items."""
+    return [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
+
+
+class ProgramGenerator:
+    """Deterministic builder for one workload's synthetic program."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int) -> None:
+        self.spec = spec
+        self.seed = seed
+        self._rng = make_rng(seed, "program", spec.name)
+
+    def generate(self) -> SyntheticProgram:
+        """Build, lay out, validate, and index the program."""
+        plans = self._plan_functions()
+        handler_roots, kernel_helpers = self._plan_handlers()
+        dispatcher_plan = self._plan_dispatcher()
+        self._assign_calls(plans)
+        for plan in plans:
+            self._add_local_branches(plan)
+        self._tame_call_loops(plans)
+
+        # Rebase symbolic callee indices to the global plan order:
+        # [dispatcher, body..., handler roots..., kernel helpers...].
+        body_offset = 1
+        helper_offset = body_offset + len(plans) + len(handler_roots)
+        for plan in plans:
+            for block in plan.blocks:
+                if block.callee is not None:
+                    block.callee += body_offset
+        for plan in handler_roots:
+            for block in plan.blocks:
+                if block.callee is not None:
+                    block.callee += helper_offset
+
+        all_plans = [dispatcher_plan, *plans, *handler_roots, *kernel_helpers]
+        functions = self._layout(all_plans)
+        dispatcher = functions[0]
+        body = functions[body_offset:body_offset + len(plans)]
+        handlers = functions[body_offset + len(plans):helper_offset]
+        helpers = functions[helper_offset:]
+
+        transactions = [f for f in body if f.level == 0]
+        # Dispatcher's call statically points at the most popular root.
+        for block in dispatcher.blocks:
+            if block.kind == BlockKind.CALL:
+                block.target = transactions[0].entry
+
+        program = SyntheticProgram(
+            name=self.spec.name,
+            dispatcher=dispatcher,
+            transactions=transactions,
+            transaction_weights=_zipf_weights(len(transactions)),
+            functions=body,
+            handlers=handlers,
+            handler_weights=_zipf_weights(len(handlers)),
+            kernel_helpers=helpers,
+        )
+        program.build_index()
+        program.validate()
+        return program
+
+    # ------------------------------------------------------------------
+    # planning
+
+    def _plan_functions(self) -> List[_FunctionPlan]:
+        spec = self.spec
+        mean_bytes = (
+            spec.mean_function_blocks * spec.mean_block_instructions
+            * INSTRUCTION_BYTES
+        )
+        count = max(
+            spec.transaction_types + spec.hot_helpers + spec.call_levels,
+            int(spec.code_footprint_kb * 1024 / mean_bytes),
+        )
+        plans: List[_FunctionPlan] = []
+        for index in range(count):
+            level = self._level_for(index, count)
+            plan = _FunctionPlan(name=f"fn{index}", level=level)
+            n_blocks = _block_count(self._rng, spec.mean_function_blocks)
+            if level == 0:
+                # Transaction roots are larger: they stitch phases together.
+                n_blocks = max(n_blocks, int(spec.mean_function_blocks * 1.5))
+            for _ in range(n_blocks):
+                plan.blocks.append(
+                    _BlockPlan(_block_size(self._rng, spec.mean_block_instructions))
+                )
+            plan.blocks[-1].kind = BlockKind.RETURN
+            self._add_loop(plan)
+            plans.append(plan)
+        # Local branches are installed *after* call sites (see
+        # ``generate``) so data-dependent branches can be constrained to
+        # skip straight-line code only.
+        return plans
+
+    def _level_for(self, index: int, count: int) -> int:
+        """Assign call-graph levels.
+
+        The first ``transaction_types`` functions are roots (level 0),
+        the last ``hot_helpers`` are leaves (max level); everything else
+        is spread uniformly over the middle levels.
+        """
+        spec = self.spec
+        max_level = spec.call_levels - 1
+        if index < spec.transaction_types:
+            return 0
+        if index >= count - spec.hot_helpers:
+            return max_level
+        return self._rng.randint(1, max_level)
+
+    def _add_local_branches(self, plan: _FunctionPlan) -> None:
+        """Turn some fallthrough blocks into forward conditional branches.
+
+        Data-dependent branches (the genuinely unpredictable ones) are
+        only installed where the skipped range contains no call sites:
+        real workloads' per-visit variation is dominated by small local
+        skips (error checks, null checks), while whole-subtree
+        divergence is rare.  Stable branches may guard anything —
+        including call sites, which makes some subtrees cold and spreads
+        the touched footprint across visits.
+        """
+        spec = self.spec
+        last = len(plan.blocks) - 1
+        for index in range(last):
+            block = plan.blocks[index]
+            if block.kind != BlockKind.FALLTHROUGH:
+                continue
+            if self._rng.random() >= spec.local_branch_probability:
+                continue
+            skip = self._rng.randint(2, 4)
+            target = min(index + skip, last)
+            if target <= index + 1:
+                continue
+            skipped = plan.blocks[index + 1:target]
+            skips_calls = any(b.kind == BlockKind.CALL for b in skipped)
+            data_dependent = (
+                not skips_calls
+                and self._rng.random() < spec.data_dependent_fraction
+            )
+            block.kind = BlockKind.CONDITIONAL
+            block.local_target = target
+            if data_dependent:
+                block.taken_probability = self._rng.uniform(0.25, 0.75)
+            elif self._rng.random() < 0.5:
+                block.taken_probability = self._rng.uniform(0.01, 0.06)
+            else:
+                block.taken_probability = self._rng.uniform(0.94, 0.99)
+
+    def _add_loop(self, plan: _FunctionPlan) -> None:
+        """Install at most one loop back-edge per function."""
+        spec = self.spec
+        if self._rng.random() >= spec.loop_probability:
+            return
+        last = len(plan.blocks) - 1
+        if last < 2:
+            return
+        end = self._rng.randint(1, last - 1)
+        start = self._rng.randint(max(0, end - 3), end)
+        block = plan.blocks[end]
+        if block.kind != BlockKind.FALLTHROUGH:
+            return
+        block.kind = BlockKind.LOOP
+        block.local_target = start
+        block.mean_iterations = max(
+            1.0, self._rng.gauss(spec.mean_loop_iterations,
+                                 spec.mean_loop_iterations / 3.0)
+        )
+
+    def _plan_handlers(self) -> Tuple[List[_FunctionPlan], List[_FunctionPlan]]:
+        """Interrupt entry points plus the kernel helpers they call.
+
+        Server workloads spend a large fraction of execution in OS code
+        entered at I/O-driven (effectively Poisson) instants.  Each
+        injection walks an entry routine and a few kernel helper
+        functions, evicting a history-dependent set of application
+        blocks — a principal source of the miss-stream fragmentation the
+        paper analyzes (Sections 2.1 and 2.3).
+        """
+        spec = self.spec
+        n_helpers = max(8, spec.interrupt_handlers * 4)
+        helpers: List[_FunctionPlan] = []
+        for index in range(n_helpers):
+            plan = _FunctionPlan(name=f"kern{index}", level=1, is_handler=True)
+            n_blocks = _block_count(self._rng, spec.mean_handler_blocks)
+            for _ in range(n_blocks):
+                plan.blocks.append(
+                    _BlockPlan(_block_size(self._rng, spec.mean_block_instructions))
+                )
+            plan.blocks[-1].kind = BlockKind.RETURN
+            self._add_handler_loop(plan)
+            self._add_local_branches(plan)
+            helpers.append(plan)
+
+        roots: List[_FunctionPlan] = []
+        for index in range(spec.interrupt_handlers):
+            plan = _FunctionPlan(name=f"irq{index}", level=0, is_handler=True)
+            n_blocks = max(4, _block_count(self._rng, spec.mean_handler_blocks))
+            for _ in range(n_blocks):
+                plan.blocks.append(
+                    _BlockPlan(_block_size(self._rng, spec.mean_block_instructions))
+                )
+            plan.blocks[-1].kind = BlockKind.RETURN
+            candidates = list(range(len(plan.blocks) - 1))
+            self._rng.shuffle(candidates)
+            n_calls = self._rng.randint(2, 4)
+            for block_index in candidates[:n_calls]:
+                block = plan.blocks[block_index]
+                if block.kind == BlockKind.FALLTHROUGH:
+                    block.kind = BlockKind.CALL
+                    block.callee = self._rng.randrange(n_helpers)
+            self._add_local_branches(plan)
+            roots.append(plan)
+        return roots, helpers
+
+    def _add_handler_loop(self, plan: _FunctionPlan) -> None:
+        if len(plan.blocks) >= 3 and self._rng.random() < 0.5:
+            body = plan.blocks[len(plan.blocks) // 2]
+            if body.kind == BlockKind.FALLTHROUGH:
+                body.kind = BlockKind.LOOP
+                body.local_target = max(0, len(plan.blocks) // 2 - 1)
+                body.mean_iterations = 3.0
+
+    def _plan_dispatcher(self) -> _FunctionPlan:
+        """The server request loop: call a transaction root, repeat."""
+        plan = _FunctionPlan(name="dispatcher", level=0)
+        plan.blocks.append(_BlockPlan(8, kind=BlockKind.CALL, callee=None))
+        plan.blocks.append(_BlockPlan(4, kind=BlockKind.JUMP, local_target=0))
+        plan.blocks.append(_BlockPlan(2, kind=BlockKind.RETURN))
+        return plan
+
+    def _assign_calls(self, plans: List[_FunctionPlan]) -> None:
+        """Install call sites: callees are strictly deeper in the level DAG.
+
+        Half the call sites target the Zipf-popular hot helpers (shared
+        leaves — library code), the rest a uniformly random deeper
+        function (workload-private logic).  Loops may only enclose a
+        call when the callees are leaves, bounding the execution blow-up
+        of call-in-loop amplification.
+        """
+        spec = self.spec
+        max_level = spec.call_levels - 1
+        by_level: List[List[int]] = [[] for _ in range(spec.call_levels)]
+        for index, plan in enumerate(plans):
+            by_level[plan.level].append(index)
+        helpers = by_level[max_level][-spec.hot_helpers:] if by_level[max_level] else []
+        helper_weights = _zipf_weights(len(helpers)) if helpers else []
+
+        # Restrict callable functions to a shared pool per level: all
+        # transaction trees draw from the same mid-level code, the way
+        # real transactions share DBMS internals and libraries.  The
+        # remaining (laid-out but never-called) functions model the cold
+        # majority of a multi-megabyte binary.
+        pools: List[List[int]] = [
+            level_functions[:spec.callee_pool_per_level]
+            for level_functions in by_level
+        ]
+
+        for plan in plans:
+            if plan.level >= max_level:
+                continue
+            deeper: List[int] = []
+            for level in range(plan.level + 1, spec.call_levels):
+                deeper.extend(pools[level])
+            if not deeper:
+                continue
+            next_level = pools[plan.level + 1] if plan.level + 1 < max_level else []
+            # Near-deterministic call-site counts: a geometric draw's
+            # heavy mass at 1 starves the call tree and collapses the
+            # touched footprint far below server scale.
+            n_calls = max(1, round(self._rng.gauss(
+                spec.mean_calls_per_function,
+                spec.mean_calls_per_function / 4.0)))
+            candidates = [
+                i for i, block in enumerate(plan.blocks[:-1])
+                if block.kind == BlockKind.FALLTHROUGH
+            ]
+            self._rng.shuffle(candidates)
+            for block_index in candidates[:n_calls]:
+                block = plan.blocks[block_index]
+                block.kind = BlockKind.CALL
+                draw = self._rng.random()
+                if helpers and draw < _HELPER_CALL_FRACTION:
+                    # Shared library/leaf code: Zipf-popular hot helpers.
+                    block.callee = self._weighted_pick(helpers, helper_weights)
+                elif next_level and draw < _HELPER_CALL_FRACTION + 0.55:
+                    # The common case: descend exactly one level, which is
+                    # what keeps the call tree deep and the per-transaction
+                    # instruction footprint large (server-like).
+                    block.callee = self._rng.choice(next_level)
+                else:
+                    block.callee = self._rng.choice(deeper)
+
+    def _tame_call_loops(self, plans: List[_FunctionPlan]) -> None:
+        """Bound call-in-loop amplification.
+
+        A loop whose body contains a call multiplies the callee's whole
+        subtree by the trip count; nested across levels this explodes
+        execution length combinatorially.  Real tight loops that call
+        helpers call *leaf* helpers (the paper's example in Section 3.1),
+        so: loops in functions one level above the leaves keep their
+        trip counts, and any other loop enclosing a call is clamped to a
+        small trip count.
+        """
+        max_level = self.spec.call_levels - 1
+        for plan in plans:
+            loop_indices = [
+                i for i, block in enumerate(plan.blocks)
+                if block.kind == BlockKind.LOOP
+            ]
+            for index in loop_indices:
+                block = plan.blocks[index]
+                start = block.local_target if block.local_target is not None else index
+                body = plan.blocks[start:index + 1]
+                has_call = any(b.kind == BlockKind.CALL for b in body)
+                if has_call and plan.level < max_level - 1:
+                    block.mean_iterations = min(block.mean_iterations, 3.0)
+
+    def _weighted_pick(self, items: Sequence[int], weights: Sequence[float]) -> int:
+        total = sum(weights)
+        point = self._rng.random() * total
+        cumulative = 0.0
+        for item, weight in zip(items, weights):
+            cumulative += weight
+            if point < cumulative:
+                return item
+        return items[-1]
+
+    # ------------------------------------------------------------------
+    # layout
+
+    def _layout(self, plans: List[_FunctionPlan]) -> List[Function]:
+        """Assign addresses and resolve symbolic targets to PCs.
+
+        ``plans[0]`` is the dispatcher; handlers are laid out in their
+        own high text segment.
+        """
+        functions: List[Function] = []
+        entries: List[int] = [0] * len(plans)
+
+        app_cursor = APPLICATION_TEXT_BASE
+        irq_cursor = HANDLER_TEXT_BASE
+        placements: List[int] = []
+        for index, plan in enumerate(plans):
+            size = sum(b.instructions for b in plan.blocks) * INSTRUCTION_BYTES
+            if plan.is_handler:
+                entries[index] = irq_cursor
+                irq_cursor += size + 64 * self._rng.randint(0, 2)
+            else:
+                entries[index] = app_cursor
+                app_cursor += size + 64 * self._rng.randint(0, 2)
+            placements.append(entries[index])
+
+        for index, plan in enumerate(plans):
+            pc = entries[index]
+            block_pcs: List[int] = []
+            for block_plan in plan.blocks:
+                block_pcs.append(pc)
+                pc += block_plan.instructions * INSTRUCTION_BYTES
+            blocks: List[BasicBlock] = []
+            for block_plan, block_pc in zip(plan.blocks, block_pcs):
+                target: Optional[int] = None
+                if block_plan.callee is not None:
+                    # Callee indices are global plan indices by the time
+                    # layout runs (rebased in ``generate``).
+                    target = entries[block_plan.callee]
+                elif block_plan.local_target is not None:
+                    target = block_pcs[block_plan.local_target]
+                blocks.append(
+                    BasicBlock(
+                        pc=block_pc,
+                        instructions=block_plan.instructions,
+                        kind=block_plan.kind,
+                        target=target,
+                        taken_probability=block_plan.taken_probability,
+                        mean_iterations=block_plan.mean_iterations,
+                    )
+                )
+            functions.append(
+                Function(
+                    name=plan.name,
+                    blocks=blocks,
+                    level=plan.level,
+                    is_handler=plan.is_handler,
+                )
+            )
+        return functions
+
+
+def build_program(spec: WorkloadSpec, seed: int) -> SyntheticProgram:
+    """Convenience wrapper: generate the program for (spec, seed)."""
+    return ProgramGenerator(spec, seed).generate()

@@ -1,0 +1,68 @@
+"""Branch target buffer and return-address stack."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer, ReturnAddressStack
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, associativity=4)
+        assert btb.lookup(0x100) is None
+        btb.update(0x100, 0x4000)
+        assert btb.lookup(0x100) == 0x4000
+        assert btb.misses == 1 and btb.hits == 1
+
+    def test_update_replaces_target(self):
+        btb = BranchTargetBuffer(64)
+        btb.update(0x100, 0x4000)
+        btb.update(0x100, 0x8000)
+        assert btb.lookup(0x100) == 0x8000
+
+    def test_capacity_eviction(self):
+        btb = BranchTargetBuffer(4, associativity=2)  # 2 sets x 2 ways
+        # Fill one set (pcs mapping to set 0) beyond capacity.
+        pcs = [((2 * i) << 2) for i in range(3)]
+        for pc in pcs:
+            btb.update(pc, pc + 4)
+        assert btb.lookup(pcs[0]) is None
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(10, associativity=4)
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow(self):
+        ras = ReturnAddressStack(2)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_discards_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.overflows == 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_peek_non_destructive(self):
+        ras = ReturnAddressStack(2)
+        ras.push(7)
+        assert ras.peek() == 7
+        assert len(ras) == 1
+        assert ras.pop() == 7
+        assert ras.peek() is None
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)

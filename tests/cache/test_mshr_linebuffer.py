@@ -1,0 +1,79 @@
+"""MSHR file and line buffer."""
+
+import pytest
+
+from repro.cache.line_buffer import LineBuffer
+from repro.cache.mshr import MSHRFile
+
+
+class TestMSHR:
+    def test_allocate_and_lookup(self):
+        mshr = MSHRFile(2)
+        assert mshr.allocate(5, ready_at=10, is_prefetch=True)
+        fill = mshr.lookup(5)
+        assert fill is not None and fill.ready_at == 10
+
+    def test_capacity_reject(self):
+        mshr = MSHRFile(1)
+        assert mshr.allocate(1, 5, False)
+        assert not mshr.allocate(2, 5, False)
+        assert mshr.rejects_full == 1
+
+    def test_merge_demotes_prefetch(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(5, 10, is_prefetch=True)
+        assert mshr.allocate(5, 20, is_prefetch=False)
+        assert mshr.merges == 1
+        assert not mshr.lookup(5).is_prefetch
+        assert len(mshr) == 1
+
+    def test_merge_keeps_prefetch_flag_for_prefetch(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(5, 10, is_prefetch=False)
+        mshr.allocate(5, 20, is_prefetch=True)
+        assert not mshr.lookup(5).is_prefetch
+
+    def test_drain_ready(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(1, 10, False)
+        mshr.allocate(2, 20, False)
+        ready = mshr.drain_ready(now=15)
+        assert [f.block for f in ready] == [1]
+        assert len(mshr) == 1
+
+    def test_clear(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(1, 10, False)
+        mshr.clear()
+        assert len(mshr) == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestLineBuffer:
+    def test_absorbs_repeat_fetches(self):
+        buffer = LineBuffer(2)
+        assert not buffer.access(1)
+        assert buffer.access(1)
+        assert buffer.hits == 1
+
+    def test_lru_eviction(self):
+        buffer = LineBuffer(2)
+        buffer.access(1)
+        buffer.access(2)
+        buffer.access(1)     # promote 1
+        buffer.access(3)     # evicts 2
+        assert buffer.access(1)
+        assert not buffer.access(2)
+
+    def test_filter_rate(self):
+        buffer = LineBuffer(4)
+        buffer.access(1)
+        buffer.access(1)
+        assert buffer.filter_rate() == pytest.approx(0.5)
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            LineBuffer(0)

@@ -1,0 +1,122 @@
+"""Address and region-geometry arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addressing import (
+    INSTRUCTION_BYTES,
+    PAPER_GEOMETRY,
+    RegionGeometry,
+    block_base_pc,
+    block_bits_for,
+    block_of,
+    blocks_spanned,
+)
+
+
+class TestBlockMath:
+    def test_block_bits_for_common_sizes(self):
+        assert block_bits_for(64) == 6
+        assert block_bits_for(32) == 5
+        assert block_bits_for(128) == 7
+
+    @pytest.mark.parametrize("bad", [0, -1, 3, 48, 65])
+    def test_block_bits_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            block_bits_for(bad)
+
+    def test_block_of_boundaries(self):
+        assert block_of(0) == 0
+        assert block_of(63) == 0
+        assert block_of(64) == 1
+        assert block_of(127) == 1
+
+    def test_block_of_rejects_negative(self):
+        with pytest.raises(ValueError):
+            block_of(-4)
+
+    def test_block_base_pc_inverts_block_of(self):
+        for pc in (0, 64, 4096, 0x40_0000):
+            assert block_base_pc(block_of(pc)) == pc - (pc % 64)
+
+    @given(st.integers(min_value=0, max_value=1 << 48))
+    def test_block_of_base_within_block(self, pc):
+        base = block_base_pc(block_of(pc))
+        assert base <= pc < base + 64
+
+    def test_blocks_spanned_single_block(self):
+        assert blocks_spanned(0, 16) == 1
+
+    def test_blocks_spanned_crosses_boundary(self):
+        # 15 instructions starting 8 bytes before a block boundary.
+        assert blocks_spanned(64 - 8, 15) == 2
+
+    def test_blocks_spanned_zero_instructions(self):
+        assert blocks_spanned(100, 0) == 0
+
+    @given(st.integers(min_value=0, max_value=1 << 32),
+           st.integers(min_value=1, max_value=512))
+    def test_blocks_spanned_matches_enumeration(self, pc, count):
+        expected = len({
+            block_of(pc + i * INSTRUCTION_BYTES) for i in range(count)
+        })
+        assert blocks_spanned(pc, count) == expected
+
+
+class TestRegionGeometry:
+    def test_paper_geometry_shape(self):
+        assert PAPER_GEOMETRY.preceding == 2
+        assert PAPER_GEOMETRY.succeeding == 5
+        assert PAPER_GEOMETRY.total_blocks == 8
+
+    def test_rejects_negative_extents(self):
+        with pytest.raises(ValueError):
+            RegionGeometry(preceding=-1)
+
+    def test_contains_offset(self):
+        geometry = RegionGeometry(2, 5)
+        assert geometry.contains_offset(0)
+        assert geometry.contains_offset(-2)
+        assert geometry.contains_offset(5)
+        assert not geometry.contains_offset(-3)
+        assert not geometry.contains_offset(6)
+
+    def test_contains_blocks(self):
+        geometry = RegionGeometry(1, 2)
+        assert geometry.contains(99, trigger_block=100)
+        assert geometry.contains(102, trigger_block=100)
+        assert not geometry.contains(98, trigger_block=100)
+
+    def test_bit_index_layout_matches_paper(self):
+        # Left part of the vector = preceding blocks, then succeeding.
+        geometry = RegionGeometry(2, 5)
+        assert geometry.bit_index(-2) == 0
+        assert geometry.bit_index(-1) == 1
+        assert geometry.bit_index(1) == 2
+        assert geometry.bit_index(5) == 6
+
+    def test_trigger_has_no_bit(self):
+        with pytest.raises(ValueError):
+            RegionGeometry(2, 5).bit_index(0)
+
+    def test_bit_index_out_of_region(self):
+        with pytest.raises(ValueError):
+            RegionGeometry(2, 5).bit_index(6)
+
+    @given(st.integers(min_value=0, max_value=6),
+           st.integers(min_value=0, max_value=10))
+    def test_bit_index_roundtrip(self, preceding, succeeding):
+        geometry = RegionGeometry(preceding, succeeding)
+        for index in range(preceding + succeeding):
+            offset = geometry.offset_for_bit(index)
+            assert geometry.bit_index(offset) == index
+            assert offset != 0
+
+    def test_offsets_replay_order(self):
+        geometry = RegionGeometry(2, 3)
+        assert list(geometry.offsets()) == [-2, -1, 1, 2, 3]
+
+    def test_degenerate_single_block_region(self):
+        geometry = RegionGeometry(0, 0)
+        assert geometry.total_blocks == 1
+        assert list(geometry.offsets()) == []

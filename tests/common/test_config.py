@@ -1,0 +1,107 @@
+"""Configuration dataclass validation and Table I defaults."""
+
+import pytest
+
+from repro.common.config import (
+    PAPER_PIF,
+    PAPER_SYSTEM,
+    BranchPredictorConfig,
+    CacheConfig,
+    MemoryConfig,
+    PIFConfig,
+    PipelineConfig,
+    SystemConfig,
+)
+
+
+class TestCacheConfig:
+    def test_table1_l1i_defaults(self):
+        config = CacheConfig()
+        assert config.capacity_bytes == 64 * 1024
+        assert config.associativity == 2
+        assert config.block_bytes == 64
+        assert config.hit_latency == 2
+        assert config.n_blocks == 1024
+        assert config.n_sets == 512
+
+    def test_rejects_fractional_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_bytes=1000, associativity=3)
+
+    def test_rejects_unknown_replacement(self):
+        with pytest.raises(ValueError):
+            CacheConfig(replacement="plru")
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(block_bytes=48)
+
+
+class TestBranchPredictorConfig:
+    def test_table1_defaults(self):
+        config = BranchPredictorConfig()
+        assert config.gshare_entries == 16 * 1024
+        assert config.bimodal_entries == 16 * 1024
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(gshare_entries=1000)
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(history_bits=0)
+
+
+class TestPipelineConfig:
+    def test_table1_defaults(self):
+        config = PipelineConfig()
+        assert config.retire_width == 3
+        assert config.rob_entries == 96
+        assert config.fetch_queue_entries == 24
+
+    def test_rejects_inverted_latency_range(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(min_resolve_latency=10, max_resolve_latency=5)
+
+
+class TestMemoryConfig:
+    def test_expected_fill_latency_interpolates(self):
+        config = MemoryConfig(l2_hit_latency=10, memory_latency=100,
+                              l2_miss_rate=0.5)
+        assert config.expected_fill_latency() == pytest.approx(55.0)
+
+    def test_rejects_bad_miss_rate(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(l2_miss_rate=1.5)
+
+
+class TestSystemConfig:
+    def test_sixteen_cores(self):
+        assert SystemConfig().cores == 16
+
+    def test_describe_is_flat_and_serializable(self):
+        import json
+
+        description = PAPER_SYSTEM.describe()
+        assert json.dumps(description)
+        assert description["cores"] == 16
+
+
+class TestPIFConfig:
+    def test_paper_operating_point(self):
+        assert PAPER_PIF.geometry.total_blocks == 8
+        assert PAPER_PIF.temporal_compactor_entries == 4
+        assert PAPER_PIF.history_entries == 32 * 1024
+        assert PAPER_PIF.sab_count == 4
+        assert PAPER_PIF.sab_window_regions == 7
+
+    def test_zero_temporal_compactor_is_legal(self):
+        assert PIFConfig(temporal_compactor_entries=0)
+
+    def test_rejects_indivisible_index(self):
+        with pytest.raises(ValueError):
+            PIFConfig(index_entries=100, index_associativity=8)
+
+    def test_rejects_empty_history(self):
+        with pytest.raises(ValueError):
+            PIFConfig(history_entries=0)

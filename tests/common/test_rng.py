@@ -1,0 +1,66 @@
+"""Deterministic RNG derivation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.rng import child_seed, make_rng, weighted_choice
+
+
+class TestChildSeed:
+    def test_deterministic(self):
+        assert child_seed(42, "a", "b") == child_seed(42, "a", "b")
+
+    def test_name_sensitivity(self):
+        assert child_seed(42, "a") != child_seed(42, "b")
+
+    def test_root_sensitivity(self):
+        assert child_seed(1, "a") != child_seed(2, "a")
+
+    def test_path_structure_matters(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert child_seed(0, "ab") != child_seed(0, "a", "b")
+
+    @given(st.integers(), st.text(max_size=20))
+    def test_fits_64_bits(self, root, name):
+        assert 0 <= child_seed(root, name) < 1 << 64
+
+
+class TestMakeRng:
+    def test_independent_streams(self):
+        first = make_rng(7, "x")
+        second = make_rng(7, "y")
+        assert [first.random() for _ in range(4)] != [
+            second.random() for _ in range(4)]
+
+    def test_reproducible_streams(self):
+        a = make_rng(7, "x")
+        b = make_rng(7, "x")
+        assert [a.random() for _ in range(8)] == [
+            b.random() for _ in range(8)]
+
+
+class TestWeightedChoice:
+    def test_degenerate_single_weight(self):
+        rng = make_rng(0, "t")
+        assert weighted_choice(rng, [1.0]) == 0
+
+    def test_zero_weight_never_chosen(self):
+        rng = make_rng(0, "t")
+        picks = {weighted_choice(rng, [0.0, 1.0, 0.0]) for _ in range(100)}
+        assert picks == {1}
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0, "t"), [0.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            weighted_choice(make_rng(0, "t"), [1.0, -1.0])
+
+    def test_roughly_proportional(self):
+        rng = make_rng(3, "prop")
+        counts = [0, 0]
+        for _ in range(4000):
+            counts[weighted_choice(rng, [3.0, 1.0])] += 1
+        ratio = counts[0] / counts[1]
+        assert 2.0 < ratio < 4.5

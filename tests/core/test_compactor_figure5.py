@@ -1,0 +1,101 @@
+"""The paper's Figure 5 walkthrough, encoded step by step.
+
+Figure 5 traces seven retirement steps through the spatial and temporal
+compactors with a region of one preceding and two succeeding blocks.
+This test is the executable version of that figure: every intermediate
+state the paper draws is asserted.
+"""
+
+from repro.common.addressing import RegionGeometry
+from repro.common.bitvec import BitVector
+from repro.core.spatial import SpatialCompactor
+from repro.core.temporal import TemporalCompactor
+
+#: Figure 5's example geometry: A-1 | A | A+1 A+2.
+GEOMETRY = RegionGeometry(preceding=1, succeeding=2)
+
+BLOCK_A = 1000
+BLOCK_B = 2000
+
+PC_A = BLOCK_A * 64 + 16        # "PCA", an instruction in block A
+PC_A_PLUS2 = (BLOCK_A + 2) * 64  # "PCA+2", in block A+2
+PC_A_MINUS1 = (BLOCK_A - 1) * 64  # "PCA-1", in block A-1
+PC_B = BLOCK_B * 64             # "PCB", in a distant block B
+
+
+def vector(record):
+    return str(record.bit_vector(GEOMETRY))
+
+
+def test_figure5_walkthrough():
+    spatial = SpatialCompactor(GEOMETRY)
+    temporal = TemporalCompactor(entries=4)
+    history = []
+
+    def retire(pc):
+        region = spatial.feed(pc)
+        if region is None:
+            return None
+        survivor = temporal.feed(region)
+        if survivor is not None:
+            history.append(survivor)
+        return region
+
+    # Step 1: PCA retires; a new region opens with trigger PCA, vector 000.
+    assert retire(PC_A) is None
+
+    # Step 2: PCA+2 retires; block A+2 joins the region (vector 001).
+    assert retire(PC_A_PLUS2) is None
+
+    # Step 3: PCA-1 retires; block A-1 joins (vector 101).
+    assert retire(PC_A_MINUS1) is None
+
+    # Step 4: PCB retires, outside the region.  The record PCA(101) is
+    # emitted to the temporal compactor and recorded; a new region opens
+    # at PCB.
+    emitted = retire(PC_B)
+    assert emitted is not None
+    assert emitted.trigger_pc == PC_A
+    assert vector(emitted) == "101"
+    assert [r.trigger_pc for r in history] == [PC_A]
+    assert [r.trigger_pc for r in temporal.tracked_records()] == [PC_A]
+
+    # Step 5: PCA retires again; PCB(000) is emitted and recorded.  The
+    # temporal compactor now tracks PCB(000) (MRU) then PCA(101).
+    emitted = retire(PC_A)
+    assert emitted.trigger_pc == PC_B
+    assert vector(emitted) == "000"
+    assert [r.trigger_pc for r in history] == [PC_A, PC_B]
+    assert [r.trigger_pc for r in temporal.tracked_records()] == [PC_B, PC_A]
+
+    # Step 6: PCA+2 retires; silently absorbed into the open region.
+    assert retire(PC_A_PLUS2) is None
+
+    # Step 7: PCB retires.  PCA(001) is emitted — the second visit only
+    # touched A and A+2, so its vector is a *subset* of the tracked
+    # PCA(101).  The temporal compactor DISCARDS it (nothing new reaches
+    # the history buffer) and promotes PCA to MRU.  This is why the
+    # discard rule is subset containment, not equality.
+    emitted = retire(PC_B)
+    assert emitted.trigger_pc == PC_A
+    assert vector(emitted) == "001"
+    assert [r.trigger_pc for r in history] == [PC_A, PC_B], \
+        "the repeated region must not be re-recorded"
+    assert [r.trigger_pc for r in temporal.tracked_records()] == [PC_A, PC_B]
+    assert temporal.discarded == 1
+
+
+def test_figure5_subset_variant():
+    """A sparser revisit (vector 001 vs tracked 101) is also discarded —
+    the subset rule, not exact equality."""
+    temporal = TemporalCompactor(entries=4)
+    from repro.core.spatial import SpatialRegionRecord
+
+    full = SpatialRegionRecord(PC_A, BitVector.from_string("101").mask, False)
+    subset = SpatialRegionRecord(PC_A, BitVector.from_string("001").mask, False)
+    superset = SpatialRegionRecord(PC_A, BitVector.from_string("111").mask, False)
+
+    assert temporal.feed(full) is full
+    assert temporal.feed(subset) is None, "subset must be discarded"
+    assert temporal.feed(superset) is superset, \
+        "a record with new blocks must be recorded"

@@ -1,0 +1,116 @@
+"""History buffer and index table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.history import HistoryBuffer, IndexTable
+
+
+class TestHistoryBuffer:
+    def test_append_read(self):
+        history = HistoryBuffer(4)
+        position = history.append("a")
+        assert position == 0
+        assert history.read(0) == "a"
+
+    def test_monotonic_positions(self):
+        history = HistoryBuffer(2)
+        assert [history.append(i) for i in range(5)] == list(range(5))
+        assert history.tail == 5
+
+    def test_overwrite_semantics(self):
+        history = HistoryBuffer(2)
+        for value in range(4):
+            history.append(value)
+        assert history.read(0) is None
+        assert history.read(1) is None
+        assert history.read(2) == 2
+        assert history.oldest_live == 2
+
+    def test_read_future_returns_none(self):
+        history = HistoryBuffer(4)
+        history.append("a")
+        assert history.read(1) is None
+        assert history.read(-1) is None
+
+    def test_read_run_stops_at_tail(self):
+        history = HistoryBuffer(8)
+        for value in range(3):
+            history.append(value)
+        run = history.read_run(1, 10)
+        assert run == [(1, 1), (2, 2)]
+
+    def test_read_run_stops_at_overwritten(self):
+        history = HistoryBuffer(2)
+        for value in range(4):
+            history.append(value)
+        assert history.read_run(1, 3) == []
+        assert history.read_run(2, 3) == [(2, 2), (3, 3)]
+
+    def test_unbounded_mode(self):
+        history = HistoryBuffer(None)
+        for value in range(100):
+            history.append(value)
+        assert history.read(0) == 0
+        assert history.oldest_live == 0
+        assert len(history) == 100
+
+    def test_len_bounded(self):
+        history = HistoryBuffer(3)
+        assert len(history) == 0
+        for value in range(5):
+            history.append(value)
+        assert len(history) == 3
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            HistoryBuffer(0)
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=0, max_value=64))
+    def test_live_window_always_readable(self, capacity, appends):
+        history = HistoryBuffer(capacity)
+        for value in range(appends):
+            history.append(value)
+        for position in range(history.oldest_live, history.tail):
+            assert history.read(position) == position
+
+
+class TestIndexTable:
+    def test_unbounded_mapping(self):
+        index = IndexTable(None)
+        index.insert(5, 100)
+        assert index.lookup(5) == 100
+        index.insert(5, 200)
+        assert index.lookup(5) == 200
+        assert index.lookup(6) is None
+        assert index.hits == 2 and index.misses == 1
+
+    def test_bounded_eviction(self):
+        index = IndexTable(capacity=2, associativity=2)  # one set
+        index.insert(0 << 2, 1)
+        index.insert(1 << 2, 2)
+        index.insert(2 << 2, 3)
+        assert index.lookup(0 << 2) is None
+
+    def test_bounded_lru_within_set(self):
+        index = IndexTable(capacity=2, associativity=2)
+        index.insert(0 << 2, 1)
+        index.insert(1 << 2, 2)
+        index.lookup(0 << 2)           # promote
+        index.insert(2 << 2, 3)
+        assert index.lookup(0 << 2) == 1
+        assert index.lookup(1 << 2) is None
+
+    def test_len(self):
+        index = IndexTable(capacity=8, associativity=2)
+        index.insert(1, 1)
+        index.insert(2, 2)
+        assert len(index) == 2
+        assert len(IndexTable(None)) == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            IndexTable(capacity=10, associativity=4)
+        with pytest.raises(ValueError):
+            IndexTable(capacity=0)

@@ -1,0 +1,145 @@
+"""The assembled PIF engine on crafted streams."""
+
+import pytest
+
+from repro.common.config import PIFConfig
+from repro.core.pif import AccessOrderPIF, ProactiveInstructionFetch
+
+
+def pc_of(block):
+    return block * 64
+
+
+def retire_sequence(pif, blocks, trap_level=0, tagged=True):
+    for block in blocks:
+        pif.on_retire(pc_of(block), trap_level, tagged)
+
+
+def demand(pif, block, trap_level=0, hit=True, was_prefetched=False):
+    return pif.on_demand_access(block, pc_of(block), trap_level, hit,
+                                was_prefetched)
+
+
+#: A stream of far-apart blocks: every block opens its own region.
+STREAM = [100, 300, 500, 700, 900, 1100, 1300, 1500]
+
+
+class TestRecordAndReplay:
+    def test_learns_and_replays_a_stream(self):
+        pif = ProactiveInstructionFetch(PIFConfig(sab_window_regions=3))
+        # First pass: record.  Each access is a (tagged) demand fetch,
+        # then its retirement.
+        for block in STREAM:
+            demand(pif, block)
+            pif.on_retire(pc_of(block), 0, tagged=True)
+        # Region records close lazily: push one more distant block.
+        pif.on_retire(pc_of(9999), 0, tagged=True)
+
+        # Second pass: the first fetch triggers the index and the
+        # replay must prefetch ahead of the demand stream.
+        prefetched = set(demand(pif, STREAM[0]))
+        for block in STREAM[1:]:
+            assert block in prefetched, f"block {block} not prefetched ahead"
+            prefetched.update(demand(pif, block, was_prefetched=True))
+
+    def test_no_prediction_without_history(self):
+        pif = ProactiveInstructionFetch()
+        assert demand(pif, 12345) == []
+
+    def test_untagged_fetch_does_not_trigger(self):
+        pif = ProactiveInstructionFetch()
+        for block in STREAM:
+            demand(pif, block)
+            pif.on_retire(pc_of(block), 0, tagged=True)
+        pif.on_retire(pc_of(9999), 0, tagged=True)
+        assert demand(pif, STREAM[0], was_prefetched=True) == []
+
+    def test_tagged_retire_controls_index(self):
+        pif = ProactiveInstructionFetch()
+        # Record with tagged=False: regions are logged but not indexed.
+        retire_sequence(pif, STREAM, tagged=False)
+        pif.on_retire(pc_of(9999), 0, tagged=False)
+        assert demand(pif, STREAM[0]) == []
+
+    def test_spatial_neighbours_prefetched_via_bit_vector(self):
+        pif = ProactiveInstructionFetch(PIFConfig(sab_window_regions=2))
+        # Region: trigger 100 with succeeding blocks 101, 102.
+        dense = [100, 101, 102, 500, 900]
+        for block in dense:
+            demand(pif, block)
+            pif.on_retire(pc_of(block), 0, tagged=True)
+        pif.on_retire(pc_of(9999), 0, tagged=True)
+        burst = demand(pif, 100)
+        assert {101, 102} <= set(burst)
+
+
+class TestTrapLevelSeparation:
+    def test_channels_are_independent(self):
+        pif = ProactiveInstructionFetch()
+        retire_sequence(pif, STREAM, trap_level=0)
+        retire_sequence(pif, [2000, 2200, 2400], trap_level=1)
+        pif.on_retire(pc_of(8888), 0, tagged=True)
+        pif.on_retire(pc_of(9999), 1, tagged=True)
+        stats = pif.channel_stats()
+        assert set(stats) == {0, 1}
+        assert stats[0].regions_recorded > stats[1].regions_recorded
+
+    def test_merged_channel_mode(self):
+        pif = ProactiveInstructionFetch(separate_trap_levels=False)
+        retire_sequence(pif, STREAM, trap_level=0)
+        retire_sequence(pif, [2000, 2200], trap_level=1)
+        assert set(pif.channel_stats()) == {0}
+
+    def test_handler_stream_replay_at_tl1(self):
+        pif = ProactiveInstructionFetch(PIFConfig(sab_window_regions=3))
+        handler_stream = [4000, 4200, 4400, 4600]
+        for block in handler_stream:
+            demand(pif, block, trap_level=1)
+            pif.on_retire(pc_of(block), 1, tagged=True)
+        pif.on_retire(pc_of(7777), 1, tagged=True)
+        burst = demand(pif, handler_stream[0], trap_level=1)
+        # The 3-region window covers the trigger's region plus two more.
+        assert set(handler_stream[1:3]) <= set(burst)
+
+
+class TestLifecycle:
+    def test_reset_clears_everything(self):
+        pif = ProactiveInstructionFetch()
+        retire_sequence(pif, STREAM)
+        pif.on_retire(pc_of(9999), 0, tagged=True)
+        pif.reset()
+        assert demand(pif, STREAM[0]) == []
+        assert pif.stats.issued == 0
+
+    def test_compaction_ratio_reflects_loops(self):
+        pif = ProactiveInstructionFetch()
+        # A two-region loop repeated: iterations after the first are
+        # discarded by the temporal compactor.
+        for _ in range(16):
+            retire_sequence(pif, [100, 500])
+        pif.on_retire(pc_of(9999), 0, tagged=True)
+        assert pif.compaction_ratio(0) > 0.8
+
+    def test_geometry_property(self):
+        pif = ProactiveInstructionFetch()
+        assert pif.geometry.total_blocks == 8
+
+
+class TestAccessOrderVariant:
+    def test_records_from_fetch_side(self):
+        pif = AccessOrderPIF(PIFConfig(sab_window_regions=3))
+        for block in STREAM:
+            demand(pif, block)
+        demand(pif, 9999)
+        burst = demand(pif, STREAM[0])
+        # The 3-region window covers the trigger's region plus two more.
+        assert set(STREAM[1:3]) <= set(burst)
+
+    def test_ignores_retirement(self):
+        pif = AccessOrderPIF()
+        retire_sequence(pif, STREAM)
+        pif.on_retire(pc_of(9999), 0, tagged=True)
+        assert demand(pif, STREAM[0]) == []
+
+    def test_name(self):
+        assert AccessOrderPIF().name == "pif-access-order"

@@ -1,0 +1,115 @@
+"""Stream address buffers: allocation, matching, advancement."""
+
+from repro.common.addressing import RegionGeometry
+from repro.core.history import HistoryBuffer
+from repro.core.sab import SABFile, StreamAddressBuffer
+from repro.core.spatial import SpatialRegionRecord
+
+GEOMETRY = RegionGeometry(preceding=2, succeeding=5)
+
+
+def region(block, succ_offsets=()):
+    bits = 0
+    for offset in succ_offsets:
+        bits |= 1 << GEOMETRY.bit_index(offset)
+    return SpatialRegionRecord(block * 64, bits, False)
+
+
+def history_of(regions):
+    history = HistoryBuffer(64)
+    for record in regions:
+        history.append(record)
+    return history
+
+
+class TestStreamAddressBuffer:
+    def test_allocate_returns_initial_burst(self):
+        history = history_of([region(10, (1,)), region(30), region(50, (2,))])
+        sab = StreamAddressBuffer(GEOMETRY, window_regions=2)
+        burst = sab.allocate(history, 0)
+        assert burst == [10, 11, 30]
+        assert sab.covers(10) and sab.covers(30)
+        assert not sab.covers(50)
+
+    def test_match_in_head_does_not_advance(self):
+        history = history_of([region(10, (1,)), region(30)])
+        sab = StreamAddressBuffer(GEOMETRY, window_regions=2)
+        sab.allocate(history, 0)
+        assert sab.advance(history, 11) == []
+        assert sab.covers(10)
+
+    def test_match_deeper_slides_window(self):
+        history = history_of([region(10), region(30), region(50), region(70)])
+        sab = StreamAddressBuffer(GEOMETRY, window_regions=2)
+        sab.allocate(history, 0)          # window: 10, 30
+        new_blocks = sab.advance(history, 30)
+        assert new_blocks == [50]         # window now: 30, 50
+        assert not sab.covers(10)
+        assert sab.covers(50)
+
+    def test_non_member_returns_none(self):
+        history = history_of([region(10)])
+        sab = StreamAddressBuffer(GEOMETRY, window_regions=2)
+        sab.allocate(history, 0)
+        assert sab.advance(history, 999) is None
+
+    def test_window_stops_at_tail(self):
+        history = history_of([region(10)])
+        sab = StreamAddressBuffer(GEOMETRY, window_regions=4)
+        burst = sab.allocate(history, 0)
+        assert burst == [10]
+        # A later append becomes visible on the next advance.
+        history.append(region(30))
+        assert sab.advance(history, 10) == []  # head match: no slide
+        sab2 = StreamAddressBuffer(GEOMETRY, window_regions=4)
+        sab2.allocate(history, 0)
+        assert 30 in [b for b in sab2.window[1][1].blocks(GEOMETRY)] or \
+            sab2.covers(30)
+
+    def test_full_stream_replay(self):
+        regions = [region(10 * i, (1,)) for i in range(1, 9)]
+        history = history_of(regions)
+        sab = StreamAddressBuffer(GEOMETRY, window_regions=3)
+        prefetched = set(sab.allocate(history, 0))
+        for record in regions:
+            result = sab.advance(history, record.trigger_block())
+            if result is not None:
+                prefetched.update(result)
+        for record in regions:
+            assert record.trigger_block() in prefetched
+
+
+class TestSABFile:
+    def test_allocate_and_route(self):
+        history = history_of([region(10), region(30), region(50)])
+        sabs = SABFile(GEOMETRY, count=2, window_regions=2)
+        sabs.allocate(history, 0)
+        assert sabs.advance(history, 30) is not None
+        assert sabs.advance(history, 999) is None
+
+    def test_lru_replacement(self):
+        history = history_of([region(i * 10) for i in range(1, 8)])
+        sabs = SABFile(GEOMETRY, count=2, window_regions=1)
+        sabs.allocate(history, 0)   # stream A: covers block 10
+        sabs.allocate(history, 2)   # stream B: covers block 30
+        sabs.allocate(history, 4)   # evicts stream A
+        assert sabs.advance(history, 10) is None
+        assert sabs.advance(history, 30) is not None
+
+    def test_match_promotes_stream(self):
+        history = history_of([region(i * 10) for i in range(1, 8)])
+        sabs = SABFile(GEOMETRY, count=2, window_regions=1)
+        sabs.allocate(history, 0)   # A covers 10
+        sabs.allocate(history, 2)   # B covers 30
+        sabs.advance(history, 10)   # touch A -> B becomes LRU
+        sabs.allocate(history, 4)   # evicts B
+        assert sabs.advance(history, 30) is None
+        assert sabs.advance(history, 10) is not None
+
+    def test_reset(self):
+        history = history_of([region(10)])
+        sabs = SABFile(GEOMETRY, count=2, window_regions=1)
+        sabs.allocate(history, 0)
+        sabs.reset()
+        assert sabs.advance(history, 10) is None
+        assert sabs.active_streams() == []

@@ -1,0 +1,135 @@
+"""Spatial compactor and region records."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.addressing import RegionGeometry
+from repro.core.spatial import (
+    SpatialCompactor,
+    SpatialRegionRecord,
+    compact_stream,
+)
+
+GEOMETRY = RegionGeometry(preceding=2, succeeding=5)
+
+
+def pc_of(block, offset=0):
+    return block * 64 + offset * 4
+
+
+class TestSpatialRegionRecord:
+    def test_blocks_replay_order(self):
+        # trigger block 100, bits for offsets -1 and +2.
+        bits = (1 << GEOMETRY.bit_index(-1)) | (1 << GEOMETRY.bit_index(2))
+        record = SpatialRegionRecord(pc_of(100), bits, False)
+        assert record.trigger_block() == 100
+        assert record.blocks(GEOMETRY) == [100, 99, 102]
+
+    def test_block_count(self):
+        record = SpatialRegionRecord(pc_of(100), 0, False)
+        assert record.block_count(GEOMETRY) == 1
+
+    def test_subset(self):
+        small = SpatialRegionRecord(pc_of(5), 0b001, False)
+        big = SpatialRegionRecord(pc_of(5), 0b011, False)
+        other = SpatialRegionRecord(pc_of(6), 0b001, False)
+        assert small.is_subset_of(big, GEOMETRY)
+        assert not big.is_subset_of(small, GEOMETRY)
+        assert not small.is_subset_of(other, GEOMETRY)
+
+
+class TestSpatialCompactor:
+    def test_first_feed_opens_region(self):
+        compactor = SpatialCompactor(GEOMETRY)
+        assert compactor.feed(pc_of(10)) is None
+        record = compactor.flush()
+        assert record.trigger_pc == pc_of(10)
+        assert record.bits == 0
+
+    def test_within_region_sets_bits(self):
+        compactor = SpatialCompactor(GEOMETRY)
+        compactor.feed(pc_of(10))
+        compactor.feed(pc_of(11))
+        compactor.feed(pc_of(9))
+        record = compactor.flush()
+        vector = record.bit_vector(GEOMETRY)
+        assert vector.test(GEOMETRY.bit_index(1))
+        assert vector.test(GEOMETRY.bit_index(-1))
+        assert vector.popcount() == 2
+
+    def test_trigger_reentry_is_silent(self):
+        compactor = SpatialCompactor(GEOMETRY)
+        compactor.feed(pc_of(10))
+        compactor.feed(pc_of(10, offset=3))
+        record = compactor.flush()
+        assert record.bits == 0
+
+    def test_out_of_region_emits(self):
+        compactor = SpatialCompactor(GEOMETRY)
+        compactor.feed(pc_of(10))
+        emitted = compactor.feed(pc_of(100))
+        assert emitted is not None
+        assert emitted.trigger_pc == pc_of(10)
+        final = compactor.flush()
+        assert final.trigger_pc == pc_of(100)
+
+    def test_backward_out_of_region_emits(self):
+        compactor = SpatialCompactor(GEOMETRY)
+        compactor.feed(pc_of(10))
+        emitted = compactor.feed(pc_of(7))  # offset -3 < preceding bound
+        assert emitted is not None
+
+    def test_tagged_follows_trigger(self):
+        compactor = SpatialCompactor(GEOMETRY)
+        compactor.feed(pc_of(10), tagged=True)
+        compactor.feed(pc_of(11), tagged=False)
+        record = compactor.flush()
+        assert record.tagged
+
+    def test_flush_empty(self):
+        assert SpatialCompactor(GEOMETRY).flush() is None
+        compactor = SpatialCompactor(GEOMETRY)
+        compactor.feed(pc_of(1))
+        compactor.flush()
+        assert compactor.flush() is None
+
+    def test_compact_stream_convenience(self):
+        records = list(compact_stream(
+            [(pc_of(10), False), (pc_of(11), False), (pc_of(200), False)],
+            GEOMETRY))
+        assert [r.trigger_pc for r in records] == [pc_of(10), pc_of(200)]
+
+
+class TestCompactionProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=60), min_size=1,
+                    max_size=200))
+    def test_every_block_is_encoded_somewhere(self, blocks):
+        """Compaction is lossy about order/repetition but never about
+        footprint: every accessed block appears in some record."""
+        stream = [(pc_of(b), False) for b in blocks]
+        records = list(compact_stream(stream, GEOMETRY))
+        covered = set()
+        for record in records:
+            covered.update(record.blocks(GEOMETRY))
+        assert set(blocks) <= covered
+
+    @given(st.lists(st.integers(min_value=0, max_value=60), min_size=1,
+                    max_size=200))
+    def test_record_count_bounded_by_stream_length(self, blocks):
+        stream = [(pc_of(b), False) for b in blocks]
+        records = list(compact_stream(stream, GEOMETRY))
+        assert 1 <= len(records) <= len(blocks)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 30), min_size=1,
+                    max_size=100))
+    def test_triggers_come_from_stream(self, blocks):
+        stream = [(pc_of(b), False) for b in blocks]
+        pcs = {pc for pc, _ in stream}
+        for record in compact_stream(stream, GEOMETRY):
+            assert record.trigger_pc in pcs
+
+    def test_sequential_run_compacts_to_one_record_per_region(self):
+        # 8 sequential blocks = trigger + 5 succeeding, then a new region.
+        stream = [(pc_of(b), False) for b in range(100, 108)]
+        records = list(compact_stream(stream, GEOMETRY))
+        assert len(records) == 2
+        assert records[0].block_count(GEOMETRY) == 6

@@ -1,0 +1,85 @@
+"""Fetch model: stream alignment and wrong-path injection."""
+
+import pytest
+
+from repro.pipeline.frontend import FetchModel
+from repro.pipeline.tracegen import generate_trace
+from repro.workloads.executor import ProgramExecutor
+from repro.workloads.generator import build_program
+from repro.workloads.spec import get_spec
+
+
+@pytest.fixture(scope="module")
+def processed():
+    spec = get_spec("oltp-oracle")
+    program = build_program(spec, seed=13)
+    executor = ProgramExecutor(program, spec, seed=13)
+    frontend = FetchModel(program, seed=13)
+    accesses, retires, instructions = frontend.process(executor.run(80_000))
+    return frontend, accesses, retires, instructions
+
+
+class TestAlignment:
+    def test_correct_path_matches_retires(self, processed):
+        _, accesses, retires, _ = processed
+        correct = [a for a in accesses if not a.wrong_path]
+        assert len(correct) == len(retires)
+        for access, retire in zip(correct, retires):
+            assert access.pc == retire.pc
+            assert access.block == retire.pc >> 6
+            assert access.trap_level == retire.trap_level
+
+    def test_retires_are_block_run_collapsed(self, processed):
+        _, _, retires, _ = processed
+        previous = None
+        for retire in retires:
+            key = (retire.pc >> 6, retire.trap_level)
+            assert key != previous
+            previous = key
+
+    def test_instruction_count(self, processed):
+        _, _, _, instructions = processed
+        assert instructions >= 80_000
+
+
+class TestWrongPath:
+    def test_wrong_path_injected(self, processed):
+        frontend, accesses, _, _ = processed
+        wrong = [a for a in accesses if a.wrong_path]
+        assert wrong, "mispredictions must inject wrong-path accesses"
+        assert frontend.stats.wrong_path_accesses == len(wrong)
+
+    def test_wrong_path_fraction_moderate(self, processed):
+        _, accesses, _, _ = processed
+        fraction = sum(a.wrong_path for a in accesses) / len(accesses)
+        assert 0.02 < fraction < 0.5
+
+    def test_mispredictions_counted(self, processed):
+        frontend, _, _, _ = processed
+        stats = frontend.stats
+        assert stats.conditional_branches > 0
+        assert 0 < stats.mispredicted_conditionals < stats.conditional_branches
+        assert 0.6 < stats.conditional_accuracy() < 1.0
+
+    def test_wrong_path_blocks_are_real_code(self, processed):
+        # Wrong-path fetches walk the static CFG, so each block must
+        # belong to the program's laid-out text.
+        spec = get_spec("oltp-oracle")
+        program = build_program(spec, seed=13)
+        _, accesses, _, _ = processed
+        for access in accesses[:4000]:
+            if access.wrong_path:
+                assert program.block_at(access.pc) is not None
+
+
+class TestDeterminism:
+    def test_same_seed_same_streams(self):
+        first = generate_trace("dss-qry2", instructions=30_000, seed=21)
+        second = generate_trace("dss-qry2", instructions=30_000, seed=21)
+        assert first.bundle.accesses == second.bundle.accesses
+        assert first.bundle.retires == second.bundle.retires
+
+    def test_different_seeds_differ(self):
+        first = generate_trace("dss-qry2", instructions=30_000, seed=21)
+        second = generate_trace("dss-qry2", instructions=30_000, seed=22)
+        assert first.bundle.accesses != second.bundle.accesses

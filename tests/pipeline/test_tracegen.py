@@ -1,0 +1,49 @@
+"""High-level trace generation and caching."""
+
+import pytest
+
+from repro.pipeline.tracegen import (
+    cached_trace,
+    generate_trace,
+    multi_core_traces,
+    program_for,
+)
+from repro.workloads.spec import get_spec, scaled_spec
+
+
+class TestGenerateTrace:
+    def test_bundle_metadata(self, oltp_trace):
+        bundle = oltp_trace.bundle
+        assert bundle.workload == "oltp-db2"
+        assert bundle.core == 0
+        assert bundle.block_bytes == 64
+
+    def test_accepts_spec_object(self):
+        spec = scaled_spec(get_spec("web-zeus"), 0.25)
+        trace = generate_trace(spec, instructions=20_000, seed=3)
+        assert trace.bundle.workload == "web-zeus"
+        trace.bundle.validate()
+
+    def test_frontend_stats_attached(self, oltp_trace):
+        assert oltp_trace.frontend_stats.conditional_branches > 0
+
+
+class TestCaching:
+    def test_cached_trace_identity(self):
+        first = cached_trace("dss-qry17", 20_000, 5, 0)
+        second = cached_trace("dss-qry17", 20_000, 5, 0)
+        assert first is second
+
+    def test_program_cached_per_workload(self):
+        assert program_for("dss-qry17", 5) is program_for("dss-qry17", 5)
+
+    def test_multi_core(self):
+        traces = multi_core_traces("dss-qry17", 20_000, 5, cores=2)
+        assert len(traces) == 2
+        assert traces[0].bundle.core == 0
+        assert traces[1].bundle.core == 1
+        assert traces[0].bundle.retires != traces[1].bundle.retires
+
+    def test_multi_core_rejects_zero(self):
+        with pytest.raises(ValueError):
+            multi_core_traces("dss-qry17", 20_000, 5, cores=0)

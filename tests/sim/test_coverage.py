@@ -1,0 +1,160 @@
+"""Coverage oracles: crafted event sequences with known answers."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.sim.coverage import (
+    PIFPredictorOracle,
+    StreamEvent,
+    TemporalStreamOracle,
+    build_view_events,
+    measure_pif_predictability,
+    measure_stream_predictability,
+)
+from repro.trace.records import StreamKind
+
+
+def miss(block, tl=0):
+    return StreamEvent(block, True, True, tl)
+
+
+def hit(block, tl=0):
+    return StreamEvent(block, False, True, tl)
+
+
+class TestTemporalStreamOracle:
+    def test_repeated_miss_sequence_predicted_after_first_pass(self):
+        oracle = TemporalStreamOracle(window=8)
+        sequence = [miss(b) for b in (10, 20, 30, 40)]
+        oracle.process(sequence * 3)
+        result = oracle.result
+        # First pass: 4 unpredicted.  Second pass: the head re-triggers
+        # (unpredicted), the remaining 3 are predicted.  The second
+        # pass's own records extend the history contiguously, so the
+        # still-active stream carries into the third pass and predicts
+        # all 4 of its misses: 3 + 4 = 7.
+        assert result.total_misses == 12
+        assert result.predicted_misses == 7
+
+    def test_no_prediction_for_unique_misses(self):
+        oracle = TemporalStreamOracle()
+        result = oracle.process([miss(b) for b in range(20)])
+        assert result.predicted_misses == 0
+
+    def test_hits_advance_streams(self):
+        oracle = TemporalStreamOracle(window=4)
+        training = [miss(1), miss(2), miss(3)]
+        replay = [miss(1), hit(2), miss(3)]
+        result = oracle.process(training + replay)
+        # 3 appears in the window (advanced past by the hit on 2).
+        assert result.predicted_misses == 1
+
+    def test_wrong_path_misses_excluded_from_denominator(self):
+        oracle = TemporalStreamOracle()
+        events = [StreamEvent(5, True, False, 0), miss(6)]
+        result = oracle.process(events)
+        assert result.total_misses == 1
+
+    def test_jump_histogram_weighted_by_matches(self):
+        oracle = TemporalStreamOracle(window=8)
+        sequence = [miss(b) for b in (10, 20, 30, 40)]
+        oracle.process(sequence * 2)
+        assert sum(oracle.result.jump_histogram.values()) == 3
+
+    def test_counting_flag_gates_denominator(self):
+        oracle = TemporalStreamOracle()
+        oracle.counting = False
+        oracle.observe(miss(1))
+        oracle.counting = True
+        oracle.observe(miss(2))
+        assert oracle.result.total_misses == 1
+
+    def test_bounded_history_forgets(self):
+        oracle = TemporalStreamOracle(window=4, history_entries=4)
+        # Train, then push the training out of the live window.
+        oracle.process([miss(b) for b in (10, 20, 30)])
+        oracle.process([miss(b) for b in (100, 200, 300, 400)])
+        before = oracle.result.predicted_misses
+        oracle.process([miss(b) for b in (10, 20, 30)])
+        # The 10/20/30 stream was overwritten: no predictions possible.
+        assert oracle.result.predicted_misses == before
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TemporalStreamOracle(streams=0)
+
+
+class TestPIFPredictorOracle:
+    def test_region_stream_predicts_repeat(self):
+        oracle = PIFPredictorOracle(window_regions=4)
+        stream = [(b * 64, True) for b in (100, 300, 500, 700)]
+        for pass_index in range(3):
+            for pc, _ in stream:
+                oracle.observe(pc, 0, is_miss=True)
+        oracle.finish()
+        result = oracle.result
+        assert result.total_misses == 12
+        # Later passes predict everything but the stream head.
+        assert result.predicted_misses >= 6
+
+    def test_intra_region_blocks_count_as_predicted(self):
+        oracle = PIFPredictorOracle(window_regions=2)
+        stream = [100, 101, 102, 500]
+        for _ in range(2):
+            for block in stream:
+                oracle.observe(block * 64, 0, is_miss=True)
+        oracle.finish()
+        # Second pass: 101, 102 are in the replayed region's bit vector.
+        assert oracle.result.predicted_misses >= 2
+
+
+class TestViewEvents:
+    def test_views_share_denominator(self, web_trace, test_cache_config):
+        views = build_view_events(web_trace.bundle, test_cache_config)
+        miss_count = sum(1 for e in views.retire if e.is_miss)
+        assert miss_count == views.correct_path_misses
+        assert len(views.miss) >= views.correct_path_misses
+
+    def test_for_kind_routing(self, web_trace, test_cache_config):
+        views = build_view_events(web_trace.bundle, test_cache_config)
+        assert views.for_kind(StreamKind.MISS) is views.miss
+        assert views.for_kind(StreamKind.RETIRE_SEP) is views.retire
+        with pytest.raises(ValueError):
+            views.for_kind("imaginary")
+
+    def test_retire_events_exclude_wrong_path(self, web_trace,
+                                              test_cache_config):
+        views = build_view_events(web_trace.bundle, test_cache_config)
+        assert all(e.correct_path for e in views.retire)
+        assert len(views.retire) == len(web_trace.bundle.retires)
+
+
+class TestPaperOrdering:
+    def test_figure2_ordering_on_web(self, web_trace, test_cache_config):
+        """The paper's central claim at trace scale: retire-order
+        streams are more predictable than fetch-order, which beats the
+        miss stream (small tolerance for sampling noise)."""
+        bundle = web_trace.bundle
+        views = build_view_events(bundle, test_cache_config)
+        coverage = {
+            kind: measure_stream_predictability(
+                bundle, kind, cache_config=test_cache_config,
+                view_events=views).coverage()
+            for kind in StreamKind.ALL
+        }
+        assert coverage[StreamKind.RETIRE] > coverage[StreamKind.MISS] - 0.02
+        assert coverage[StreamKind.RETIRE_SEP] >= \
+            coverage[StreamKind.RETIRE] - 0.01
+
+    def test_pif_oracle_beats_block_oracle_on_dss(self, dss_trace,
+                                                  test_cache_config):
+        """Region compaction must help loopy DSS streams (Section 3.2)."""
+        bundle = dss_trace.bundle
+        views = build_view_events(bundle, test_cache_config)
+        block_level = measure_stream_predictability(
+            bundle, StreamKind.RETIRE_SEP, cache_config=test_cache_config,
+            view_events=views).coverage()
+        region_level = measure_pif_predictability(
+            bundle, cache_config=test_cache_config,
+            view_events=views).coverage()
+        assert region_level > block_level - 0.03

@@ -1,0 +1,114 @@
+"""Spatial-region characterization statistics."""
+
+import pytest
+
+from repro.common.addressing import RegionGeometry
+from repro.core.spatial import SpatialRegionRecord
+from repro.sim.regionstats import (
+    WIDE_GEOMETRY,
+    contiguous_groups,
+    density_distribution,
+    discontinuity_distribution,
+    merge_distributions,
+    regions_of,
+    trigger_offset_profile,
+)
+from repro.trace.records import RetiredInstruction
+
+
+def retires_of(blocks):
+    return [RetiredInstruction(b * 64, 0) for b in blocks]
+
+
+class TestContiguousGroups:
+    def test_single_block(self):
+        record = SpatialRegionRecord(100 * 64, 0, False)
+        assert contiguous_groups(record, WIDE_GEOMETRY) == 1
+
+    def test_dense_run_is_one_group(self):
+        geometry = RegionGeometry(2, 5)
+        bits = sum(1 << geometry.bit_index(o) for o in (1, 2, 3))
+        record = SpatialRegionRecord(100 * 64, bits, False)
+        assert contiguous_groups(record, geometry) == 1
+
+    def test_gap_makes_two_groups(self):
+        geometry = RegionGeometry(2, 5)
+        bits = (1 << geometry.bit_index(1)) | (1 << geometry.bit_index(4))
+        record = SpatialRegionRecord(100 * 64, bits, False)
+        assert contiguous_groups(record, geometry) == 2
+
+    def test_preceding_gap(self):
+        geometry = RegionGeometry(2, 5)
+        bits = 1 << geometry.bit_index(-2)
+        record = SpatialRegionRecord(100 * 64, bits, False)
+        assert contiguous_groups(record, geometry) == 2
+
+
+class TestDistributions:
+    def test_sequential_stream_is_dense(self):
+        # 32 sequential blocks fill a wide region completely.
+        distribution = density_distribution(retires_of(range(100, 132)))
+        assert distribution["17-32"] > 0.4
+
+    def test_scattered_stream_is_sparse(self):
+        blocks = [i * 1000 for i in range(20)]
+        distribution = density_distribution(retires_of(blocks))
+        assert distribution["1"] == 1.0
+
+    def test_density_sums_to_one(self, oltp_trace):
+        distribution = density_distribution(oltp_trace.bundle.retires[:20000])
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_discontinuity_sums_to_one(self, oltp_trace):
+        distribution = discontinuity_distribution(
+            oltp_trace.bundle.retires[:20000])
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_empty_stream(self):
+        assert sum(density_distribution([]).values()) == 0.0
+        assert sum(discontinuity_distribution([]).values()) == 0.0
+
+    def test_paper_shape_on_server_stream(self, web_trace):
+        """>50% of regions multi-block; a visible minority discontinuous."""
+        retires = web_trace.bundle.retires[:30000]
+        density = density_distribution(retires)
+        assert 1.0 - density["1"] > 0.4
+        groups = discontinuity_distribution(retires)
+        assert 0.02 < 1.0 - groups["1"] < 0.7
+
+
+class TestOffsetProfile:
+    def test_sequential_stream_peaks_after_trigger(self):
+        # Runs of mixed lengths: +1 is reached by every multi-block run,
+        # +8 only by the longest, so frequency decays with offset.
+        blocks = (list(range(100, 103)) + list(range(500, 509))
+                  + list(range(900, 905)) + list(range(1300, 1302)))
+        profile = trigger_offset_profile(retires_of(blocks))
+        assert profile[1] > profile[8]
+        assert profile.get(-4, 0.0) == 0.0
+
+    def test_profile_fractions_sum_to_one(self, oltp_trace):
+        profile = trigger_offset_profile(oltp_trace.bundle.retires[:20000])
+        assert sum(profile.values()) == pytest.approx(1.0)
+
+    def test_paper_shape_plus_one_dominates(self, oltp_trace):
+        profile = trigger_offset_profile(oltp_trace.bundle.retires[:20000])
+        assert profile[1] == max(profile.values())
+
+
+class TestHelpers:
+    def test_regions_of_round_trips_footprint(self):
+        blocks = [100, 101, 500, 501, 502]
+        records = regions_of(retires_of(blocks), WIDE_GEOMETRY)
+        covered = set()
+        for record in records:
+            covered.update(record.blocks(WIDE_GEOMETRY))
+        assert set(blocks) <= covered
+
+    def test_merge_distributions(self):
+        merged = merge_distributions([{"a": 1.0}, {"a": 0.0, "b": 0.5}])
+        assert merged["a"] == pytest.approx(0.5)
+        assert merged["b"] == pytest.approx(0.25)
+
+    def test_merge_empty(self):
+        assert merge_distributions([]) == {}

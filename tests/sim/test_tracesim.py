@@ -1,0 +1,113 @@
+"""Trace-driven prefetch simulation."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.core.pif import ProactiveInstructionFetch
+from repro.prefetch import make_prefetcher
+from repro.prefetch.base import NullPrefetcher
+from repro.sim.tracesim import run_prefetch_simulation
+from repro.trace.bundle import TraceBundle
+from repro.trace.records import FetchAccess, RetiredInstruction
+
+
+def looping_bundle(blocks, repeats):
+    """A bundle that walks ``blocks`` ``repeats`` times (no wrong path)."""
+    accesses = []
+    retires = []
+    for _ in range(repeats):
+        for block in blocks:
+            accesses.append(FetchAccess(block, block * 64, 0, False))
+            retires.append(RetiredInstruction(block * 64, 0))
+    return TraceBundle(workload="crafted", core=0, seed=0,
+                       retires=retires, accesses=accesses,
+                       instructions=len(retires) * 4)
+
+
+#: A capacity-thrashing loop: 256 far-apart blocks (one spatial region
+#: each) against a 128-frame cache, spread evenly over the sets so the
+#: misses are capacity misses a prefetcher *can* cover just in time.
+THRASH = [i * 8 for i in range(256)]
+TINY = CacheConfig(capacity_bytes=64 * 2 * 64, associativity=2)
+
+
+class TestNullBaseline:
+    def test_zero_coverage(self):
+        bundle = looping_bundle(THRASH, repeats=8)
+        result = run_prefetch_simulation(bundle, NullPrefetcher(),
+                                         cache_config=TINY)
+        assert result.coverage() == 0.0
+        assert result.baseline_misses == result.remaining_misses
+        assert result.baseline_misses > 0
+
+
+class TestPIFOnPerfectLoop:
+    def test_near_total_coverage(self):
+        bundle = looping_bundle(THRASH, repeats=8)
+        pif = ProactiveInstructionFetch()
+        result = run_prefetch_simulation(bundle, pif, cache_config=TINY,
+                                         warmup_fraction=0.3)
+        assert result.coverage() > 0.9
+
+    def test_prefetches_counted(self):
+        bundle = looping_bundle(THRASH, repeats=8)
+        result = run_prefetch_simulation(
+            bundle, ProactiveInstructionFetch(), cache_config=TINY)
+        assert result.prefetches_issued > 0
+
+
+class TestAccounting:
+    def test_per_level_counts_sum(self, oltp_trace, test_cache_config):
+        result = run_prefetch_simulation(
+            oltp_trace.bundle, NullPrefetcher(),
+            cache_config=test_cache_config)
+        assert sum(result.per_level_baseline.values()) == \
+            result.baseline_misses
+        assert sum(result.per_level_remaining.values()) == \
+            result.remaining_misses
+
+    def test_level_coverage_bounds(self, oltp_trace, test_cache_config):
+        result = run_prefetch_simulation(
+            oltp_trace.bundle, make_prefetcher("next-line"),
+            cache_config=test_cache_config)
+        for level in result.per_level_baseline:
+            assert 0.0 <= result.level_coverage(level) <= 1.0
+
+    def test_describe_and_mpki(self, oltp_trace, test_cache_config):
+        result = run_prefetch_simulation(
+            oltp_trace.bundle, NullPrefetcher(),
+            cache_config=test_cache_config)
+        assert result.baseline_mpki() > 0
+        assert set(result.describe()) == {
+            "baseline_misses", "remaining_misses", "coverage",
+            "prefetches_issued"}
+
+    def test_rejects_bad_warmup(self, oltp_trace):
+        with pytest.raises(ValueError):
+            run_prefetch_simulation(oltp_trace.bundle, NullPrefetcher(),
+                                    warmup_fraction=1.0)
+
+    def test_alignment_check_fires_on_corrupt_bundle(self, test_cache_config):
+        bundle = looping_bundle(THRASH[:16], repeats=2)
+        bundle.retires.append(RetiredInstruction(0x999 * 64, 0))
+        with pytest.raises(RuntimeError):
+            run_prefetch_simulation(bundle, NullPrefetcher(),
+                                    cache_config=test_cache_config)
+
+
+class TestCompetitiveOrdering:
+    def test_pif_beats_baselines_on_server_trace(self, web_trace,
+                                                 test_cache_config):
+        bundle = web_trace.bundle
+        coverages = {}
+        for name in ("next-line", "tifs"):
+            result = run_prefetch_simulation(
+                bundle, make_prefetcher(name),
+                cache_config=test_cache_config)
+            coverages[name] = result.coverage()
+        pif_result = run_prefetch_simulation(
+            bundle, ProactiveInstructionFetch(),
+            cache_config=test_cache_config)
+        coverages["pif"] = pif_result.coverage()
+        assert coverages["pif"] > coverages["next-line"]
+        assert coverages["pif"] > coverages["tifs"] - 0.02

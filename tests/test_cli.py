@@ -1,0 +1,64 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.workload == "oltp-db2"
+        assert args.instructions == 400_000
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--workload", "spec2017"])
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--engine", "boomerang"])
+
+
+class TestCommands:
+    def test_trace_prints_characterization(self, capsys):
+        code = main(["trace", "--workload", "dss-qry2",
+                     "--instructions", "30000", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "touched footprint" in out
+        assert "wrong-path fraction" in out
+
+    def test_trace_saves_bundle(self, tmp_path, capsys):
+        target = tmp_path / "out"
+        code = main(["trace", "--workload", "dss-qry2",
+                     "--instructions", "30000", "--seed", "3",
+                     "--output", str(target)])
+        assert code == 0
+        from repro.trace.serialize import load_bundle
+
+        bundle = load_bundle(target.with_suffix(".npz"))
+        assert bundle.workload == "dss-qry2"
+
+    def test_simulate_reports_coverage(self, capsys):
+        code = main(["simulate", "--workload", "dss-qry2",
+                     "--instructions", "60000", "--seed", "3",
+                     "--engine", "pif", "--cache-kb", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miss coverage" in out
+
+    def test_compare_matrix(self, capsys):
+        code = main(["compare", "--instructions", "30000", "--seed", "3",
+                     "--engines", "next-line,pif", "--cache-kb", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "oltp-db2" in out and "web-zeus" in out
+
+    def test_compare_rejects_bad_engine_list(self, capsys):
+        code = main(["compare", "--engines", "pif,nonsense"])
+        assert code == 2

@@ -1,0 +1,102 @@
+"""Trace bundle invariants and derived views."""
+
+import pytest
+
+from repro.trace.bundle import TraceBundle, merge_statistics
+from repro.trace.records import FetchAccess, RetiredInstruction
+
+
+def make_bundle():
+    return TraceBundle(
+        workload="unit",
+        core=0,
+        seed=1,
+        retires=[
+            RetiredInstruction(0, 0),
+            RetiredInstruction(64, 0),
+            RetiredInstruction(256, 1),
+            RetiredInstruction(68, 0),
+        ],
+        accesses=[
+            FetchAccess(0, 0, 0, False),
+            FetchAccess(1, 64, 0, False),
+            FetchAccess(7, 448, 0, True),
+            FetchAccess(4, 256, 1, False),
+            FetchAccess(1, 68, 0, False),
+        ],
+        instructions=40,
+    )
+
+
+class TestBundleViews:
+    def test_retire_blocks(self):
+        assert make_bundle().retire_blocks() == [0, 1, 4, 1]
+
+    def test_correct_path_accesses(self):
+        assert len(make_bundle().correct_path_accesses()) == 4
+
+    def test_application_retires(self):
+        assert len(make_bundle().application_retires()) == 3
+
+    def test_wrong_path_fraction(self):
+        assert make_bundle().wrong_path_fraction() == pytest.approx(0.2)
+
+    def test_footprint_blocks(self):
+        assert make_bundle().footprint_blocks() == 3
+
+    def test_split_by_trap_level(self):
+        groups = make_bundle().split_by_trap_level()
+        assert set(groups) == {0, 1}
+        assert len(groups[0]) == 3
+
+
+class TestValidation:
+    def test_valid_bundle_passes(self):
+        make_bundle().validate()
+
+    def test_instruction_undercount_rejected(self):
+        bundle = make_bundle()
+        bundle.instructions = 1
+        with pytest.raises(ValueError):
+            bundle.validate()
+
+    def test_uncollapsed_retires_rejected(self):
+        bundle = make_bundle()
+        bundle.retires.append(RetiredInstruction(72, 0))
+        bundle.retires.append(RetiredInstruction(76, 0))
+        with pytest.raises(ValueError):
+            bundle.validate()
+
+    def test_access_block_pc_mismatch_rejected(self):
+        bundle = make_bundle()
+        bundle.accesses.append(FetchAccess(2, 64, 0, False))
+        with pytest.raises(ValueError):
+            bundle.validate()
+
+
+class TestMergeStatistics:
+    def test_aggregates(self):
+        stats = merge_statistics([make_bundle(), make_bundle()])
+        assert stats["instructions"] == 80.0
+        assert stats["union_footprint_blocks"] == 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_statistics([])
+
+
+class TestGeneratedBundles:
+    def test_generated_trace_validates(self, oltp_trace):
+        oltp_trace.bundle.validate()
+
+    def test_alignment_invariant(self, oltp_trace):
+        bundle = oltp_trace.bundle
+        correct = bundle.correct_path_accesses()
+        assert len(correct) == len(bundle.retires)
+        for access, retire in zip(correct, bundle.retires):
+            assert access.pc == retire.pc
+            assert access.trap_level == retire.trap_level
+
+    def test_contains_interrupt_records(self, oltp_trace):
+        levels = {r.trap_level for r in oltp_trace.bundle.retires}
+        assert levels == {0, 1}

@@ -1,0 +1,66 @@
+"""On-disk trace format roundtrips."""
+
+import pytest
+
+from repro.trace.bundle import TraceBundle
+from repro.trace.records import FetchAccess, RetiredInstruction
+from repro.trace.serialize import load_bundle, save_bundle
+
+
+def small_bundle():
+    return TraceBundle(
+        workload="roundtrip",
+        core=3,
+        seed=99,
+        retires=[RetiredInstruction(0x40_0000, 0),
+                 RetiredInstruction(0x40_0040, 1)],
+        accesses=[FetchAccess(0x40_0000 >> 6, 0x40_0000, 0, False),
+                  FetchAccess((0x40_0000 >> 6) + 9, 0x40_0240, 0, True)],
+        instructions=17,
+    )
+
+
+class TestRoundtrip:
+    def test_fields_survive(self, tmp_path):
+        path = save_bundle(small_bundle(), tmp_path / "trace")
+        loaded = load_bundle(path)
+        original = small_bundle()
+        assert loaded.workload == original.workload
+        assert loaded.core == original.core
+        assert loaded.seed == original.seed
+        assert loaded.instructions == original.instructions
+        assert loaded.retires == original.retires
+        assert loaded.accesses == original.accesses
+
+    def test_extension_appended(self, tmp_path):
+        path = save_bundle(small_bundle(), tmp_path / "trace.bin")
+        assert path.suffix == ".npz"
+
+    def test_empty_streams(self, tmp_path):
+        bundle = TraceBundle(workload="empty", core=0, seed=0)
+        loaded = load_bundle(save_bundle(bundle, tmp_path / "e"))
+        assert loaded.retires == []
+        assert loaded.accesses == []
+
+    def test_generated_trace_roundtrip(self, tmp_path, dss_trace):
+        bundle = dss_trace.bundle
+        loaded = load_bundle(save_bundle(bundle, tmp_path / "dss"))
+        assert loaded.retires == bundle.retires
+        assert loaded.accesses == bundle.accesses
+        loaded.validate()
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = save_bundle(small_bundle(), tmp_path / "v")
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(payload["meta"]).decode())
+        meta["version"] = 999
+        payload["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError):
+            load_bundle(path)

@@ -1,0 +1,75 @@
+"""Stream derivation helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.trace.records import FetchAccess, RetiredInstruction
+from repro.trace.streams import (
+    access_block_stream,
+    collapse_block_runs,
+    correct_path_block_stream,
+    deduplicate_consecutive,
+    retire_block_stream,
+    split_stream_by_trap_level,
+    unique_blocks,
+)
+
+
+class TestCollapseBlockRuns:
+    def test_collapses_same_block(self):
+        pcs = [(0, 0), (4, 0), (8, 0), (64, 0)]
+        collapsed = list(collapse_block_runs(pcs))
+        assert [r.pc for r in collapsed] == [0, 64]
+
+    def test_block_reentry_emits_new_record(self):
+        pcs = [(0, 0), (64, 0), (4, 0)]
+        collapsed = list(collapse_block_runs(pcs))
+        assert [r.pc for r in collapsed] == [0, 64, 4]
+
+    def test_trap_level_change_forces_record(self):
+        # A handler entering mid-block must start a fresh record.
+        pcs = [(0, 0), (8, 1), (12, 0)]
+        collapsed = list(collapse_block_runs(pcs))
+        assert [(r.pc, r.trap_level) for r in collapsed] == [
+            (0, 0), (8, 1), (12, 0)]
+
+    def test_preserves_first_pc_of_run(self):
+        pcs = [(100, 0), (104, 0)]
+        collapsed = list(collapse_block_runs(pcs))
+        assert collapsed == [RetiredInstruction(100, 0)]
+
+    @given(st.lists(st.integers(min_value=0, max_value=2048), max_size=100))
+    def test_no_adjacent_duplicate_blocks(self, raw_pcs):
+        collapsed = list(collapse_block_runs((pc, 0) for pc in raw_pcs))
+        blocks = [r.pc >> 6 for r in collapsed]
+        assert all(a != b for a, b in zip(blocks, blocks[1:]))
+
+
+class TestStreamViews:
+    def test_retire_block_stream(self):
+        retires = [RetiredInstruction(0, 0), RetiredInstruction(130, 0)]
+        assert retire_block_stream(retires) == [0, 2]
+
+    def test_access_streams_and_wrong_path_filter(self):
+        accesses = [
+            FetchAccess(1, 64, 0, False),
+            FetchAccess(9, 576, 0, True),
+            FetchAccess(2, 128, 0, False),
+        ]
+        assert access_block_stream(accesses) == [1, 9, 2]
+        assert correct_path_block_stream(accesses) == [1, 2]
+
+    def test_split_by_trap_level_orders_levels(self):
+        retires = [
+            RetiredInstruction(0, 1),
+            RetiredInstruction(64, 0),
+            RetiredInstruction(128, 1),
+        ]
+        split = split_stream_by_trap_level(retires)
+        assert [level for level, _ in split] == [0, 1]
+        assert [r.pc for r in dict(split)[1]] == [0, 128]
+
+    def test_unique_blocks(self):
+        assert unique_blocks([1, 2, 2, 3]) == 3
+
+    def test_deduplicate_consecutive(self):
+        assert list(deduplicate_consecutive([1, 1, 2, 1, 1])) == [1, 2, 1]

@@ -1,0 +1,108 @@
+"""Program execution: control-record semantics."""
+
+import pytest
+
+from repro.trace.records import TL_APPLICATION, TL_INTERRUPT
+from repro.workloads.executor import ProgramExecutor
+from repro.workloads.generator import build_program
+from repro.workloads.program import BlockKind
+from repro.workloads.spec import get_spec
+
+
+@pytest.fixture(scope="module")
+def executed():
+    spec = get_spec("web-zeus")
+    program = build_program(spec, seed=5)
+    executor = ProgramExecutor(program, spec, seed=5)
+    records = list(executor.run(60_000))
+    return program, executor, records
+
+
+class TestExecution:
+    def test_reaches_budget(self, executed):
+        _, _, records = executed
+        assert sum(r.instructions for r in records) >= 60_000
+
+    def test_rejects_bad_budget(self, executed):
+        program, _, _ = executed
+        spec = get_spec("web-zeus")
+        with pytest.raises(ValueError):
+            list(ProgramExecutor(program, spec, seed=1).run(0))
+
+    def test_control_flow_is_connected(self, executed):
+        program, _, records = executed
+        for current, following in zip(records, records[1:]):
+            if following.trap_level == TL_INTERRUPT and \
+                    current.trap_level == TL_APPLICATION:
+                continue  # interrupt redirect is asynchronous
+            if current.trap_level == TL_INTERRUPT and \
+                    following.trap_level == TL_APPLICATION:
+                continue  # handler return resumes the application
+            assert following.pc == current.next_pc
+
+    def test_next_pc_matches_taken_semantics(self, executed):
+        program, _, records = executed
+        for record in records:
+            block = program.block_starting_at(record.pc)
+            if record.kind in (BlockKind.CONDITIONAL, BlockKind.LOOP):
+                if record.taken:
+                    assert record.next_pc == block.target
+                else:
+                    assert record.next_pc == block.end_pc
+
+    def test_transactions_complete(self, executed):
+        _, executor, _ = executed
+        assert executor.transactions_completed > 3
+
+    def test_interrupts_taken(self, executed):
+        _, executor, records = executed
+        assert executor.interrupts_taken > 0
+        assert any(r.trap_level == TL_INTERRUPT for r in records)
+
+    def test_handler_records_form_complete_walks(self, executed):
+        _, _, records = executed
+        depth = 0
+        in_handler = False
+        for record in records:
+            if record.trap_level == TL_INTERRUPT:
+                in_handler = True
+                if record.kind == BlockKind.CALL:
+                    depth += 1
+                elif record.kind == BlockKind.RETURN:
+                    if depth == 0:
+                        in_handler = False
+                    else:
+                        depth -= 1
+            else:
+                assert not in_handler, "handler did not finish before resume"
+
+    def test_determinism(self):
+        spec = get_spec("dss-qry17")
+        program = build_program(spec, seed=9)
+        first = list(ProgramExecutor(program, spec, seed=9).run(30_000))
+        second = list(ProgramExecutor(program, spec, seed=9).run(30_000))
+        assert first == second
+
+    def test_cores_differ(self):
+        spec = get_spec("dss-qry17")
+        program = build_program(spec, seed=9)
+        a = list(ProgramExecutor(program, spec, seed=9, core=0).run(30_000))
+        b = list(ProgramExecutor(program, spec, seed=9, core=1).run(30_000))
+        assert a != b
+
+    def test_loop_trip_counts_bounded_but_variable(self, executed):
+        program, _, records = executed
+        taken = {}
+        for record in records:
+            if record.kind == BlockKind.LOOP:
+                taken.setdefault(record.branch_pc, []).append(record.taken)
+        # At least one loop both iterated and exited.
+        assert any(True in outcomes and False in outcomes
+                   for outcomes in taken.values())
+
+    def test_dispatch_selects_multiple_transaction_types(self, executed):
+        program, _, records = executed
+        entries = {t.entry for t in program.transactions}
+        called = {r.next_pc for r in records
+                  if r.kind == BlockKind.CALL and r.next_pc in entries}
+        assert len(called) >= 2
