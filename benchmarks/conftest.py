@@ -4,14 +4,30 @@ The benchmarks regenerate every paper figure at a reduced-but-faithful
 scale (see DESIGN.md's scale note).  Each prints the same rows/series
 the paper reports, so ``pytest benchmarks/ --benchmark-only -s`` doubles
 as the reproduction's results run.  For the full-scale pass used in
-EXPERIMENTS.md, run ``python -m repro.experiments``.
+EXPERIMENTS.md, run ``python -m repro.experiments`` (``--jobs N`` fans
+the per-workload slices out over processes).
+
+Everything collected from this directory carries the ``bench`` marker
+(registered in ``pytest.ini``), so ``pytest -m "not bench"`` gives a
+fast correctness-only pass while the bare tier-1 command stays complete.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.common import ExperimentConfig
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Tag every test under ``benchmarks/`` with the ``bench`` marker."""
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 #: Benchmark-scale experiment configuration: one core, medium traces.
 BENCH_CONFIG = ExperimentConfig(instructions=700_000, cores=1, seed=42)

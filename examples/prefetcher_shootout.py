@@ -4,8 +4,16 @@
 Compares next-line, stride, discontinuity, TIFS and PIF on miss
 coverage and timing-model speedup over all six paper workloads.  This is
 the example to start from when adding a new prefetch engine: implement
-:class:`repro.prefetch.base.Prefetcher`, add it to ``ENGINES`` below,
+:class:`repro.prefetch.base.Prefetcher`, add it to ``engines()`` below,
 and see where it lands.
+
+The coverage matrix uses :func:`repro.sim.run_multi_prefetch_simulation`,
+the single-pass multi-prefetcher engine: each workload's trace is walked
+*once* for all five engines (plus one shared no-prefetch baseline)
+instead of once per engine, with per-engine results bit-identical to
+sequential :func:`repro.sim.run_prefetch_simulation` calls.  For the
+full evaluation with process-level fan-out on top, see
+``python -m repro.experiments --jobs N``.
 """
 
 from dataclasses import replace
@@ -13,7 +21,7 @@ from dataclasses import replace
 from repro import CacheConfig, PIFConfig, ProactiveInstructionFetch, SystemConfig
 from repro.pipeline.tracegen import cached_trace
 from repro.prefetch import make_prefetcher
-from repro.sim import run_prefetch_simulation, speedup_comparison
+from repro.sim import run_multi_prefetch_simulation, speedup_comparison
 from repro.workloads.spec import WORKLOAD_NAMES
 
 INSTRUCTIONS = 500_000
@@ -35,11 +43,11 @@ def main() -> None:
           + "   (miss coverage)")
     for workload in WORKLOAD_NAMES:
         bundle = cached_trace(workload, INSTRUCTIONS, SEED).bundle
-        cells = []
-        for name, engine in engines().items():
-            sim = run_prefetch_simulation(bundle, engine, cache_config=CACHE,
-                                          warmup_fraction=0.4)
-            cells.append(f"{sim.coverage():9.1%}")
+        # One walk serves every engine (single-pass multi-prefetcher sim).
+        sims = run_multi_prefetch_simulation(
+            bundle, list(engines().values()), cache_config=CACHE,
+            warmup_fraction=0.4)
+        cells = [f"{sim.coverage():9.1%}" for sim in sims]
         print(f"{workload:12s}  " + "  ".join(cells))
 
     print()

@@ -80,16 +80,22 @@ class CoverageAccounting:
     per_level_remaining: Dict[int, int] = field(default_factory=dict)
 
     def coverage(self) -> float:
-        """Fraction of baseline misses eliminated (clamped at 0)."""
+        """Fraction of baseline misses eliminated.
+
+        Signed, like :meth:`PrefetchSimResult.coverage`: a polluting
+        prefetcher that inflicts more misses than it removes reports a
+        negative value rather than a silently clamped 0.0.
+        """
         if self.baseline_misses == 0:
             return 0.0
         eliminated = self.baseline_misses - self.remaining_misses
-        return max(0.0, eliminated / self.baseline_misses)
+        return eliminated / self.baseline_misses
 
     def level_coverage(self, trap_level: int) -> float:
-        """Coverage restricted to one trap level."""
+        """Coverage restricted to one trap level (signed, like
+        :meth:`coverage`)."""
         baseline = self.per_level_baseline.get(trap_level, 0)
         if baseline == 0:
             return 0.0
         remaining = self.per_level_remaining.get(trap_level, 0)
-        return max(0.0, (baseline - remaining) / baseline)
+        return (baseline - remaining) / baseline

@@ -6,22 +6,27 @@ Three commands cover the everyday workflows:
   optionally save it as a ``.npz`` bundle for external tools;
 * ``simulate`` — run one prefetch engine over one workload and report
   coverage/accuracy (the quickstart, without writing code);
-* ``compare``  — the Figure 10 matrix for a chosen set of engines.
+* ``compare``  — the Figure 10 matrix for a chosen set of engines; each
+  workload's trace is replayed *once* against every engine through the
+  single-pass multi-prefetcher engine (:mod:`repro.sim.engine`), and
+  ``--jobs N`` fans the workload rows out over N processes.
 
 The full figure-by-figure evaluation lives in
-``python -m repro.experiments``.
+``python -m repro.experiments`` (which takes the same ``--jobs`` flag).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, NamedTuple, Optional, Tuple
 
 from .common.config import CacheConfig, PIFConfig
 from .core.pif import ProactiveInstructionFetch
+from .experiments.parallel import parallel_map
 from .pipeline.tracegen import cached_trace, generate_trace
 from .prefetch import make_prefetcher
+from .sim.engine import run_multi_prefetch_simulation
 from .sim.tracesim import run_prefetch_simulation
 from .trace.serialize import save_bundle
 from .trace.stats import analyze_block_stream
@@ -90,24 +95,44 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+class _CompareTask(NamedTuple):
+    """One compare-matrix row: a workload against every chosen engine."""
+
+    workload: str
+    engines: Tuple[str, ...]
+    instructions: int
+    seed: int
+    cache_kb: int
+    warmup: float
+
+
+def _compare_row(task: _CompareTask) -> str:
+    """Render one workload's coverage cells (single trace walk)."""
+    bundle = cached_trace(task.workload, task.instructions, task.seed).bundle
+    results = run_multi_prefetch_simulation(
+        bundle, [_engine(name) for name in task.engines],
+        cache_config=_cache(task.cache_kb), warmup_fraction=task.warmup)
+    cells = [f"{result.coverage():10.1%}" for result in results]
+    return f"{task.workload:12s}  " + "  ".join(cells)
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     """Coverage matrix: chosen engines over all six workloads."""
-    engines = args.engines.split(",")
+    engines = tuple(args.engines.split(","))
     for name in engines:
         if name not in ENGINE_NAMES:
             print(f"unknown engine {name!r}; choose from {ENGINE_NAMES}",
                   file=sys.stderr)
             return 2
+    if args.jobs <= 0:
+        print("--jobs must be positive", file=sys.stderr)
+        return 2
     print(f"{'workload':12s}  " + "  ".join(f"{n:>10s}" for n in engines))
-    for workload in WORKLOAD_NAMES:
-        bundle = cached_trace(workload, args.instructions, args.seed).bundle
-        cells = []
-        for name in engines:
-            result = run_prefetch_simulation(
-                bundle, _engine(name), cache_config=_cache(args.cache_kb),
-                warmup_fraction=args.warmup)
-            cells.append(f"{result.coverage():10.1%}")
-        print(f"{workload:12s}  " + "  ".join(cells))
+    tasks = [_CompareTask(workload, engines, args.instructions, args.seed,
+                          args.cache_kb, args.warmup)
+             for workload in WORKLOAD_NAMES]
+    for row in parallel_map(_compare_row, tasks, jobs=args.jobs):
+        print(row)
     return 0
 
 
@@ -137,6 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--engines", default="next-line,tifs,pif",
                          help="comma-separated engine list")
     compare.add_argument("--warmup", type=float, default=0.4)
+    compare.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the workload rows "
+                              "(output is identical for any value)")
     compare.set_defaults(func=cmd_compare)
     return parser
 

@@ -132,26 +132,33 @@ class ProactiveInstructionFetch(Prefetcher):
 
     def on_demand_access(self, block: int, pc: int, trap_level: int,
                          hit: bool, was_prefetched: bool) -> List[int]:
-        """Advance active streams; on a tagged fetch, try to start one."""
+        """Advance active streams; on a tagged miss, try to start one.
+
+        Stream allocation follows Section 4.3: the index table is probed
+        only for *tagged misses* — fetches that both missed the L1-I and
+        were not covered by a prefetch.  Tagged hits merely advance
+        active windows; they never allocate.  A window match (even an
+        empty head-region match) does not suppress allocation: a tagged
+        miss inside a tracked window means the replay fell behind, and
+        re-allocating from the most recent history position resyncs it.
+        """
         channel = self._channel(trap_level)
+        candidates: List[int] = []
         advanced = channel.sabs.advance(channel.history, block)
         if advanced is not None:
             channel.stats.window_advances += 1
-            if advanced:
-                self.stats.issued += len(advanced)
-            return as_block_list(advanced)
-        tagged = not was_prefetched
-        if not tagged:
-            return []
-        self.stats.triggers += 1
-        position = channel.index.lookup(pc)
-        if position is None:
-            return []
-        burst = channel.sabs.allocate(channel.history, position)
-        channel.stats.stream_allocations += 1
-        self.stats.stream_allocations += 1
-        self.stats.issued += len(burst)
-        return as_block_list(burst)
+            candidates.extend(advanced)
+        if not hit and not was_prefetched:
+            self.stats.triggers += 1
+            position = channel.index.lookup(pc)
+            if position is not None:
+                burst = channel.sabs.allocate(channel.history, position)
+                channel.stats.stream_allocations += 1
+                self.stats.stream_allocations += 1
+                candidates.extend(burst)
+        blocks = as_block_list(candidates)
+        self.stats.issued += len(blocks)
+        return blocks
 
     # ------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from .fig7 import Fig7Result, run_fig7
 from .fig8 import Fig8Result, geometry_for_size, run_fig8
 from .fig9 import Fig9Result, run_fig9
 from .fig10 import Fig10Result, run_fig10
+from .parallel import ExperimentPool, parallel_map, run_workload_grid
 from .runner import run_all
 
 __all__ = [
@@ -50,5 +51,8 @@ __all__ = [
     "run_fig9",
     "Fig10Result",
     "run_fig10",
+    "ExperimentPool",
+    "parallel_map",
+    "run_workload_grid",
     "run_all",
 ]

@@ -9,17 +9,24 @@ Each ablation varies exactly one design decision DESIGN.md calls out:
 * ``source``     — the same PIF hardware fed retire-order vs fetch-order
                    streams (the paper's central claim, isolated);
 * ``replacement``— L1 replacement policy interaction (LRU/FIFO/random).
+
+Every sweep batches all of its settings into one single-pass
+multi-prefetcher walk per trace (see :mod:`repro.sim.engine`), and every
+ablation accepts an :class:`~repro.experiments.parallel.ExperimentPool`
+to fan its per-workload slices out across processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..common.config import CacheConfig, PIFConfig
+from ..common.config import CacheConfig
 from ..core.pif import AccessOrderPIF, ProactiveInstructionFetch
-from ..sim.tracesim import run_prefetch_simulation
+from ..prefetch.base import Prefetcher
+from ..sim.engine import run_multi_prefetch_simulation
 from .common import ExperimentConfig, format_table, mean, percent, traces_for
+from .parallel import ExperimentPool, run_workload_grid
 
 #: Temporal compactor sizes swept.
 TEMPORAL_SIZES: Tuple[int, ...] = (0, 1, 2, 4, 8)
@@ -54,107 +61,137 @@ class AblationResult:
         return format_table(headers, rows, title=f"Ablation: {self.name}")
 
 
-def _simulate(config: ExperimentConfig, workload: str, engine_factory,
-              cache: CacheConfig = None) -> float:
-    cache_config = cache if cache is not None else config.cache
-    coverages: List[float] = []
+def _sweep(config: ExperimentConfig, workload: str,
+           make_engines: Callable[[], Sequence[Tuple[str, Prefetcher]]],
+           cache_configs: Optional[Sequence[Optional[CacheConfig]]] = None,
+           ) -> Dict[str, float]:
+    """Mean coverage per setting label, one shared walk per trace.
+
+    ``make_engines`` builds a fresh ``[(label, engine), ...]`` list per
+    trace (engines carry state and must not leak between cores).
+    """
+    per_label: Dict[str, List[float]] = {}
     for trace in traces_for(config, workload):
-        sim = run_prefetch_simulation(
-            trace.bundle, engine_factory(), cache_config=cache_config,
-            warmup_fraction=config.warmup_fraction)
-        coverages.append(sim.coverage())
-    return mean(coverages)
+        labeled = list(make_engines())
+        sims = run_multi_prefetch_simulation(
+            trace.bundle, [engine for _, engine in labeled],
+            cache_config=config.cache,
+            warmup_fraction=config.warmup_fraction,
+            cache_configs=cache_configs)
+        for (label, _), sim in zip(labeled, sims):
+            per_label.setdefault(label, []).append(sim.coverage())
+    return {label: mean(values) for label, values in per_label.items()}
 
 
-def run_temporal_ablation(config: ExperimentConfig) -> AblationResult:
+def _pif(config: ExperimentConfig, **overrides) -> ProactiveInstructionFetch:
+    pif_config = replace(config.pif, **overrides) if overrides else config.pif
+    return ProactiveInstructionFetch(pif_config,
+                                     block_bytes=config.cache.block_bytes)
+
+
+def _temporal_workload(config: ExperimentConfig, workload: str
+                       ) -> Dict[str, float]:
+    return _sweep(config, workload, lambda: [
+        (str(size), _pif(config, temporal_compactor_entries=size))
+        for size in TEMPORAL_SIZES
+    ])
+
+
+def _sab_workload(config: ExperimentConfig, workload: str) -> Dict[str, float]:
+    return _sweep(config, workload, lambda: [
+        (f"{count}x{window}",
+         _pif(config, sab_count=count, sab_window_regions=window))
+        for count, window in SAB_GRID
+    ])
+
+
+def _index_workload(config: ExperimentConfig, workload: str
+                    ) -> Dict[str, float]:
+    def make_engines() -> List[Tuple[str, Prefetcher]]:
+        labeled: List[Tuple[str, Prefetcher]] = [
+            (str(entries), _pif(config, index_entries=entries))
+            for entries in INDEX_SIZES
+        ]
+        labeled.append(("unbounded", ProactiveInstructionFetch(
+            config.pif, block_bytes=config.cache.block_bytes,
+            unbounded_index=True)))
+        return labeled
+
+    return _sweep(config, workload, make_engines)
+
+
+def _source_workload(config: ExperimentConfig, workload: str
+                     ) -> Dict[str, float]:
+    return _sweep(config, workload, lambda: [
+        ("retire", _pif(config)),
+        ("fetch", AccessOrderPIF(config.pif,
+                                 block_bytes=config.cache.block_bytes)),
+    ])
+
+
+def _replacement_workload(config: ExperimentConfig, workload: str
+                          ) -> Dict[str, float]:
+    cache_configs = [replace(config.cache, replacement=policy)
+                     for policy in REPLACEMENT_POLICIES]
+    return _sweep(
+        config, workload,
+        lambda: [(policy, _pif(config)) for policy in REPLACEMENT_POLICIES],
+        cache_configs=cache_configs)
+
+
+def _run_ablation(name: str, slice_func, config: ExperimentConfig,
+                  pool: Optional[ExperimentPool] = None) -> AblationResult:
+    result = AblationResult(name, config)
+    for workload, row in run_workload_grid(slice_func, config, pool):
+        result.coverage[workload] = row
+    return result
+
+
+def run_temporal_ablation(config: ExperimentConfig,
+                          pool: Optional[ExperimentPool] = None
+                          ) -> AblationResult:
     """Temporal compactor size sweep (0 = spatial-only compaction)."""
-    result = AblationResult("temporal compactor entries", config)
-    for workload in config.workloads:
-        row: Dict[str, float] = {}
-        for size in TEMPORAL_SIZES:
-            pif_config = replace(config.pif, temporal_compactor_entries=size)
-            row[str(size)] = _simulate(
-                config, workload,
-                lambda: ProactiveInstructionFetch(
-                    pif_config, block_bytes=config.cache.block_bytes))
-        result.coverage[workload] = row
-    return result
+    return _run_ablation("temporal compactor entries", _temporal_workload,
+                         config, pool)
 
 
-def run_sab_ablation(config: ExperimentConfig) -> AblationResult:
+def run_sab_ablation(config: ExperimentConfig,
+                     pool: Optional[ExperimentPool] = None) -> AblationResult:
     """SAB count x window grid (reproduces the footnote 2 tuning)."""
-    result = AblationResult("SAB count x window", config)
-    for workload in config.workloads:
-        row: Dict[str, float] = {}
-        for count, window in SAB_GRID:
-            pif_config = replace(config.pif, sab_count=count,
-                                 sab_window_regions=window)
-            row[f"{count}x{window}"] = _simulate(
-                config, workload,
-                lambda: ProactiveInstructionFetch(
-                    pif_config, block_bytes=config.cache.block_bytes))
-        result.coverage[workload] = row
-    return result
+    return _run_ablation("SAB count x window", _sab_workload, config, pool)
 
 
-def run_index_ablation(config: ExperimentConfig) -> AblationResult:
+def run_index_ablation(config: ExperimentConfig,
+                       pool: Optional[ExperimentPool] = None
+                       ) -> AblationResult:
     """Bounded index capacity sweep plus the unbounded reference."""
-    result = AblationResult("index table entries", config)
-    for workload in config.workloads:
-        row: Dict[str, float] = {}
-        for entries in INDEX_SIZES:
-            pif_config = replace(config.pif, index_entries=entries)
-            row[str(entries)] = _simulate(
-                config, workload,
-                lambda: ProactiveInstructionFetch(
-                    pif_config, block_bytes=config.cache.block_bytes))
-        row["unbounded"] = _simulate(
-            config, workload,
-            lambda: ProactiveInstructionFetch(
-                config.pif, block_bytes=config.cache.block_bytes,
-                unbounded_index=True))
-        result.coverage[workload] = row
-    return result
+    return _run_ablation("index table entries", _index_workload, config, pool)
 
 
-def run_source_ablation(config: ExperimentConfig) -> AblationResult:
+def run_source_ablation(config: ExperimentConfig,
+                        pool: Optional[ExperimentPool] = None
+                        ) -> AblationResult:
     """Retire-order vs fetch-order input to identical PIF hardware."""
-    result = AblationResult("record source (retire vs fetch order)", config)
-    for workload in config.workloads:
-        retire = _simulate(
-            config, workload,
-            lambda: ProactiveInstructionFetch(
-                config.pif, block_bytes=config.cache.block_bytes))
-        access = _simulate(
-            config, workload,
-            lambda: AccessOrderPIF(
-                config.pif, block_bytes=config.cache.block_bytes))
-        result.coverage[workload] = {"retire": retire, "fetch": access}
-    return result
+    return _run_ablation("record source (retire vs fetch order)",
+                         _source_workload, config, pool)
 
 
-def run_replacement_ablation(config: ExperimentConfig) -> AblationResult:
+def run_replacement_ablation(config: ExperimentConfig,
+                             pool: Optional[ExperimentPool] = None
+                             ) -> AblationResult:
     """PIF coverage under different L1 replacement policies."""
-    result = AblationResult("L1 replacement policy", config)
-    for workload in config.workloads:
-        row: Dict[str, float] = {}
-        for policy in REPLACEMENT_POLICIES:
-            cache = replace(config.cache, replacement=policy)
-            row[policy] = _simulate(
-                config, workload,
-                lambda: ProactiveInstructionFetch(
-                    config.pif, block_bytes=config.cache.block_bytes),
-                cache=cache)
-        result.coverage[workload] = row
-    return result
+    return _run_ablation("L1 replacement policy", _replacement_workload,
+                         config, pool)
 
 
-def run_all_ablations(config: ExperimentConfig) -> List[AblationResult]:
+def run_all_ablations(config: ExperimentConfig,
+                      pool: Optional[ExperimentPool] = None
+                      ) -> List[AblationResult]:
     """Every ablation, in DESIGN.md order."""
     return [
-        run_temporal_ablation(config),
-        run_sab_ablation(config),
-        run_index_ablation(config),
-        run_source_ablation(config),
-        run_replacement_ablation(config),
+        run_temporal_ablation(config, pool),
+        run_sab_ablation(config, pool),
+        run_index_ablation(config, pool),
+        run_source_ablation(config, pool),
+        run_replacement_ablation(config, pool),
     ]

@@ -55,7 +55,17 @@ QUICK_CONFIG = ExperimentConfig(instructions=300_000, cores=1)
 
 def traces_for(config: ExperimentConfig, workload: str
                ) -> List[GeneratedTrace]:
-    """The per-core traces of one workload under ``config`` (cached)."""
+    """The per-core traces of one workload under ``config``.
+
+    Backed by the trace-bundle cache
+    (:func:`repro.pipeline.tracegen.cached_trace`): each
+    (workload, instructions, seed, core) tuple is generated once per
+    process and shared by every figure and sweep point that replays it.
+    Under the :class:`~repro.experiments.parallel.ExperimentPool`
+    fan-out the pool's worker processes persist across experiments, so
+    the same reuse holds there — a worker regenerates a trace at most
+    once, no matter how many figures it serves.
+    """
     return [cached_trace(workload, config.instructions, config.seed, core)
             for core in range(config.cores)]
 

@@ -8,15 +8,16 @@ reaches 65-90 %, and its speedup converges to the perfect cache's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..common.config import SystemConfig
 from ..core.pif import ProactiveInstructionFetch
 from ..prefetch import make_prefetcher
 from ..prefetch.base import Prefetcher
+from ..sim.engine import run_multi_prefetch_simulation
 from ..sim.timing import speedup_comparison
-from ..sim.tracesim import run_prefetch_simulation
 from .common import ExperimentConfig, format_table, mean, percent, traces_for
+from .parallel import ExperimentPool, run_workload_grid
 
 #: Engines compared, in the paper's presentation order.
 ENGINES: Tuple[str, ...] = ("next-line", "tifs", "pif")
@@ -71,31 +72,43 @@ class Fig10Result:
         return left + "\n\n" + right
 
 
-def run_fig10(config: ExperimentConfig) -> Fig10Result:
+def _fig10_workload(config: ExperimentConfig, workload: str) -> Tuple[
+        Dict[str, float], Dict[str, float]]:
+    """One workload's (coverage row, speedup row).
+
+    The coverage panel replays each trace once against every engine via
+    the single-pass multi-prefetcher engine; the timing panel keeps
+    per-engine walks because each engine evolves its own clock.
+    """
+    system = replace(SystemConfig(), l1i=config.cache)
+    traces = traces_for(config, workload)
+    coverage: Dict[str, List[float]] = {e: [] for e in ENGINES}
+    speedups: Dict[str, List[float]] = {}
+    for trace in traces:
+        sims = run_multi_prefetch_simulation(
+            trace.bundle, [_engine(name, config) for name in ENGINES],
+            cache_config=config.cache,
+            warmup_fraction=config.warmup_fraction)
+        for engine_name, sim in zip(ENGINES, sims):
+            coverage[engine_name].append(sim.coverage())
+        engines = {name: _engine(name, config) for name in ENGINES}
+        comparison = speedup_comparison(
+            trace.bundle, engines, system=system,
+            warmup_fraction=config.warmup_fraction)
+        for name, value in comparison.items():
+            speedups.setdefault(name, []).append(value)
+    return (
+        {name: mean(values) for name, values in coverage.items()},
+        {name: mean(values) for name, values in speedups.items()},
+    )
+
+
+def run_fig10(config: ExperimentConfig,
+              pool: Optional[ExperimentPool] = None) -> Fig10Result:
     """Run both Figure 10 panels over the configured workloads."""
     result = Fig10Result(config=config)
-    system = replace(SystemConfig(), l1i=config.cache)
-    for workload in config.workloads:
-        traces = traces_for(config, workload)
-        coverage: Dict[str, List[float]] = {e: [] for e in ENGINES}
-        speedups: Dict[str, List[float]] = {}
-        for trace in traces:
-            for engine_name in ENGINES:
-                engine = _engine(engine_name, config)
-                sim = run_prefetch_simulation(
-                    trace.bundle, engine, cache_config=config.cache,
-                    warmup_fraction=config.warmup_fraction)
-                coverage[engine_name].append(sim.coverage())
-            engines = {name: _engine(name, config) for name in ENGINES}
-            comparison = speedup_comparison(
-                trace.bundle, engines, system=system,
-                warmup_fraction=config.warmup_fraction)
-            for name, value in comparison.items():
-                speedups.setdefault(name, []).append(value)
-        result.coverage[workload] = {
-            name: mean(values) for name, values in coverage.items()
-        }
-        result.speedup[workload] = {
-            name: mean(values) for name, values in speedups.items()
-        }
+    for workload, (coverage, speedup) in run_workload_grid(
+            _fig10_workload, config, pool):
+        result.coverage[workload] = coverage
+        result.speedup[workload] = speedup
     return result

@@ -10,7 +10,7 @@ separated).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..sim.coverage import build_view_events, measure_stream_predictability
 from ..trace.records import StreamKind
@@ -21,6 +21,7 @@ from .common import (
     percent,
     traces_for,
 )
+from .parallel import ExperimentPool, run_workload_grid
 
 
 @dataclass(slots=True)
@@ -56,20 +57,25 @@ class Fig2Result:
             title="Figure 2: correctly predicted correct-path L1-I misses")
 
 
-def run_fig2(config: ExperimentConfig) -> Fig2Result:
+def _fig2_workload(config: ExperimentConfig, workload: str
+                   ) -> Dict[str, float]:
+    """One workload's Figure 2 row (the per-workload parallel slice)."""
+    per_kind: Dict[str, List[float]] = {kind: [] for kind in StreamKind.ALL}
+    for trace in traces_for(config, workload):
+        views = build_view_events(trace.bundle, config.cache)
+        for kind in StreamKind.ALL:
+            oracle = measure_stream_predictability(
+                trace.bundle, kind, cache_config=config.cache,
+                view_events=views,
+                warmup_fraction=config.warmup_fraction)
+            per_kind[kind].append(oracle.coverage())
+    return {kind: mean(values) for kind, values in per_kind.items()}
+
+
+def run_fig2(config: ExperimentConfig,
+             pool: Optional[ExperimentPool] = None) -> Fig2Result:
     """Run the Figure 2 study over the configured workloads and cores."""
     result = Fig2Result(config=config)
-    for workload in config.workloads:
-        per_kind: Dict[str, List[float]] = {kind: [] for kind in StreamKind.ALL}
-        for trace in traces_for(config, workload):
-            views = build_view_events(trace.bundle, config.cache)
-            for kind in StreamKind.ALL:
-                oracle = measure_stream_predictability(
-                    trace.bundle, kind, cache_config=config.cache,
-                    view_events=views,
-                    warmup_fraction=config.warmup_fraction)
-                per_kind[kind].append(oracle.coverage())
-        result.coverage[workload] = {
-            kind: mean(values) for kind, values in per_kind.items()
-        }
+    for workload, row in run_workload_grid(_fig2_workload, config, pool):
+        result.coverage[workload] = row
     return result

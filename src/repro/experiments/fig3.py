@@ -10,7 +10,7 @@ over-fetches).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.regionstats import (
     DENSITY_BUCKETS,
@@ -20,6 +20,7 @@ from ..sim.regionstats import (
     merge_distributions,
 )
 from .common import ExperimentConfig, format_table, percent, traces_for
+from .parallel import ExperimentPool, run_workload_grid
 
 
 @dataclass(slots=True)
@@ -59,16 +60,24 @@ class Fig3Result:
         return left + "\n\n" + right
 
 
-def run_fig3(config: ExperimentConfig) -> Fig3Result:
+def _fig3_workload(config: ExperimentConfig, workload: str
+                   ) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """One workload's (density, discontinuity) distributions."""
+    densities: List[Dict[str, float]] = []
+    groups: List[Dict[str, float]] = []
+    for trace in traces_for(config, workload):
+        retires = trace.bundle.retires
+        densities.append(density_distribution(retires))
+        groups.append(discontinuity_distribution(retires))
+    return merge_distributions(densities), merge_distributions(groups)
+
+
+def run_fig3(config: ExperimentConfig,
+             pool: Optional[ExperimentPool] = None) -> Fig3Result:
     """Run the Figure 3 characterization over the configured workloads."""
     result = Fig3Result(config=config)
-    for workload in config.workloads:
-        densities: List[Dict[str, float]] = []
-        groups: List[Dict[str, float]] = []
-        for trace in traces_for(config, workload):
-            retires = trace.bundle.retires
-            densities.append(density_distribution(retires))
-            groups.append(discontinuity_distribution(retires))
-        result.density[workload] = merge_distributions(densities)
-        result.discontinuity[workload] = merge_distributions(groups)
+    for workload, (density, groups) in run_workload_grid(
+            _fig3_workload, config, pool):
+        result.density[workload] = density
+        result.discontinuity[workload] = groups
     return result

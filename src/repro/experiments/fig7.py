@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..sim.coverage import build_view_events, measure_pif_predictability
 from .common import (
@@ -19,6 +19,7 @@ from .common import (
     normalize_histogram,
     traces_for,
 )
+from .parallel import ExperimentPool, run_workload_grid
 
 
 @dataclass(slots=True)
@@ -64,17 +65,24 @@ class Fig7Result:
             title="Figure 7: weighted jump distance in history (CDF)")
 
 
-def run_fig7(config: ExperimentConfig) -> Fig7Result:
+def _fig7_workload(config: ExperimentConfig, workload: str
+                   ) -> Dict[int, float]:
+    """One workload's weighted jump-distance CDF."""
+    merged: Counter = Counter()
+    for trace in traces_for(config, workload):
+        views = build_view_events(trace.bundle, config.cache)
+        oracle = measure_pif_predictability(
+            trace.bundle, history_entries=1 << 22,
+            cache_config=config.cache, view_events=views,
+            warmup_fraction=config.warmup_fraction)
+        merged.update(oracle.jump_histogram)
+    return cumulative(normalize_histogram(dict(merged)))
+
+
+def run_fig7(config: ExperimentConfig,
+             pool: Optional[ExperimentPool] = None) -> Fig7Result:
     """Run the jump-distance study (region-granularity history)."""
     result = Fig7Result(config=config)
-    for workload in config.workloads:
-        merged: Counter = Counter()
-        for trace in traces_for(config, workload):
-            views = build_view_events(trace.bundle, config.cache)
-            oracle = measure_pif_predictability(
-                trace.bundle, history_entries=1 << 22,
-                cache_config=config.cache, view_events=views,
-                warmup_fraction=config.warmup_fraction)
-            merged.update(oracle.jump_histogram)
-        result.cdf[workload] = cumulative(normalize_histogram(dict(merged)))
+    for workload, cdf in run_workload_grid(_fig7_workload, config, pool):
+        result.cdf[workload] = cdf
     return result

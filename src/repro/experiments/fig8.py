@@ -10,7 +10,7 @@ handler code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..common.addressing import RegionGeometry
 from ..sim.coverage import build_view_events, measure_pif_predictability
@@ -26,6 +26,7 @@ from .common import (
     percent,
     traces_for,
 )
+from .parallel import ExperimentPool, run_workload_grid
 
 #: Region sizes the paper sweeps (total blocks including the trigger).
 REGION_SIZES: Tuple[int, ...] = (1, 2, 4, 6, 8)
@@ -80,28 +81,37 @@ class Fig8Result:
         return left + "\n\n" + right
 
 
-def run_fig8(config: ExperimentConfig) -> Fig8Result:
+def _fig8_workload(config: ExperimentConfig, workload: str) -> Tuple[
+        Dict[int, float], Dict[int, Tuple[float, float]]]:
+    """One workload's (offset profile, size-sweep coverage) pair."""
+    traces = traces_for(config, workload)
+    profiles = [trigger_offset_profile(t.bundle.retires, OFFSET_GEOMETRY)
+                for t in traces]
+    offset_profile = merge_distributions(profiles)
+
+    by_size: Dict[int, Tuple[float, float]] = {}
+    views = [build_view_events(t.bundle, config.cache) for t in traces]
+    for size in REGION_SIZES:
+        geometry = geometry_for_size(size)
+        tl0: List[float] = []
+        tl1: List[float] = []
+        for trace, view in zip(traces, views):
+            oracle = measure_pif_predictability(
+                trace.bundle, geometry=geometry,
+                cache_config=config.cache, view_events=view,
+                warmup_fraction=config.warmup_fraction)
+            tl0.append(oracle.level_coverage(0))
+            tl1.append(oracle.level_coverage(1))
+        by_size[size] = (mean(tl0), mean(tl1))
+    return offset_profile, by_size
+
+
+def run_fig8(config: ExperimentConfig,
+             pool: Optional[ExperimentPool] = None) -> Fig8Result:
     """Run both Figure 8 panels."""
     result = Fig8Result(config=config)
-    for workload in config.workloads:
-        traces = traces_for(config, workload)
-        profiles = [trigger_offset_profile(t.bundle.retires, OFFSET_GEOMETRY)
-                    for t in traces]
-        result.offset_profile[workload] = merge_distributions(profiles)
-
-        by_size: Dict[int, Tuple[float, float]] = {}
-        views = [build_view_events(t.bundle, config.cache) for t in traces]
-        for size in REGION_SIZES:
-            geometry = geometry_for_size(size)
-            tl0: List[float] = []
-            tl1: List[float] = []
-            for trace, view in zip(traces, views):
-                oracle = measure_pif_predictability(
-                    trace.bundle, geometry=geometry,
-                    cache_config=config.cache, view_events=view,
-                    warmup_fraction=config.warmup_fraction)
-                tl0.append(oracle.level_coverage(0))
-                tl1.append(oracle.level_coverage(1))
-            by_size[size] = (mean(tl0), mean(tl1))
+    for workload, (profile, by_size) in run_workload_grid(
+            _fig8_workload, config, pool):
+        result.offset_profile[workload] = profile
         result.size_coverage[workload] = by_size
     return result

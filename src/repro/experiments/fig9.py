@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.coverage import build_view_events, measure_pif_predictability
 from .common import (
@@ -23,6 +23,7 @@ from .common import (
     percent,
     traces_for,
 )
+from .parallel import ExperimentPool, run_workload_grid
 
 #: History sizes swept, in region records (the paper's axis is
 #: log2 of K-regions; ours starts smaller because the synthetic
@@ -78,36 +79,44 @@ class Fig9Result:
         return left + "\n\n" + right
 
 
-def run_fig9(config: ExperimentConfig) -> Fig9Result:
-    """Run both Figure 9 panels."""
-    result = Fig9Result(config=config)
-    for workload in config.workloads:
-        traces = traces_for(config, workload)
-        views = [build_view_events(t.bundle, config.cache) for t in traces]
+def _fig9_workload(config: ExperimentConfig, workload: str
+                   ) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """One workload's (stream-length CDF, history sweep) pair."""
+    traces = traces_for(config, workload)
+    views = [build_view_events(t.bundle, config.cache) for t in traces]
 
-        lengths: Counter = Counter()
+    lengths: Counter = Counter()
+    for trace, view in zip(traces, views):
+        oracle = measure_pif_predictability(
+            trace.bundle, history_entries=1 << 22,
+            cache_config=config.cache, view_events=view,
+            warmup_fraction=config.warmup_fraction)
+        for length, correct in oracle.stream_lengths:
+            if length <= 0:
+                continue
+            bin_ = length.bit_length() - 1
+            lengths[bin_] += correct
+    length_cdf = cumulative(normalize_histogram(dict(lengths)))
+
+    by_size: Dict[int, float] = {}
+    for size in HISTORY_SIZES:
+        coverages: List[float] = []
         for trace, view in zip(traces, views):
             oracle = measure_pif_predictability(
-                trace.bundle, history_entries=1 << 22,
+                trace.bundle, history_entries=size,
                 cache_config=config.cache, view_events=view,
                 warmup_fraction=config.warmup_fraction)
-            for length, correct in oracle.stream_lengths:
-                if length <= 0:
-                    continue
-                bin_ = length.bit_length() - 1
-                lengths[bin_] += correct
-        result.length_cdf[workload] = cumulative(
-            normalize_histogram(dict(lengths)))
+            coverages.append(oracle.coverage())
+        by_size[size] = mean(coverages)
+    return length_cdf, by_size
 
-        by_size: Dict[int, float] = {}
-        for size in HISTORY_SIZES:
-            coverages: List[float] = []
-            for trace, view in zip(traces, views):
-                oracle = measure_pif_predictability(
-                    trace.bundle, history_entries=size,
-                    cache_config=config.cache, view_events=view,
-                    warmup_fraction=config.warmup_fraction)
-                coverages.append(oracle.coverage())
-            by_size[size] = mean(coverages)
+
+def run_fig9(config: ExperimentConfig,
+             pool: Optional[ExperimentPool] = None) -> Fig9Result:
+    """Run both Figure 9 panels."""
+    result = Fig9Result(config=config)
+    for workload, (length_cdf, by_size) in run_workload_grid(
+            _fig9_workload, config, pool):
+        result.length_cdf[workload] = length_cdf
         result.history_coverage[workload] = by_size
     return result

@@ -1,0 +1,136 @@
+"""Process-level fan-out for the experiment grid.
+
+Every figure experiment decomposes into independent per-workload slices
+(one slice = everything one workload contributes to one figure), so the
+natural parallel unit is the (workload × config) grid.  This module
+provides:
+
+* :class:`ExperimentPool` — an ordered map over a figure's per-workload
+  slice function, backed by a persistent :mod:`multiprocessing` pool
+  when ``jobs > 1`` and plain serial iteration otherwise.  The pool
+  lives for a whole evaluation run, so each worker process generates a
+  workload's trace bundle at most once (via the
+  :func:`repro.pipeline.tracegen.cached_trace` trace-bundle cache) and
+  reuses it across every figure and sweep point it is handed.
+* :func:`parallel_map` — a generic ordered process map for callers that
+  are not shaped around :class:`ExperimentConfig` (the CLI's compare
+  matrix).
+
+Determinism: results are collected in submission order, and every
+:class:`ExperimentPool` grid task carries a
+:func:`repro.common.rng.child_seed`-derived seed that is installed into
+the worker's global ``random`` state before the slice runs, so tables
+are bit-identical between ``--jobs 1`` and ``--jobs N`` regardless of
+how tasks land on workers.  :func:`parallel_map` does no such seeding —
+its callers must pass functions that are deterministic on their own.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+from typing import Any, Callable, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..common.rng import child_seed
+
+#: Slice function signature: (config, workload) -> picklable payload.
+WorkloadSlice = Callable[[Any, str], Any]
+
+
+class _TaskSpec(NamedTuple):
+    """One grid cell: a slice function applied to one workload."""
+
+    func: WorkloadSlice
+    config: Any
+    workload: str
+    seed: int
+
+
+def _run_task(spec: _TaskSpec) -> Any:
+    """Execute one grid cell inside a worker (or inline when serial)."""
+    # Pin the global RNG per task, not per worker, so any component that
+    # (incorrectly) reaches for module-level randomness still produces
+    # placement-independent results.
+    random.seed(spec.seed)
+    return spec.func(spec.config, spec.workload)
+
+
+def _task_name(func: WorkloadSlice) -> str:
+    return f"{func.__module__}.{getattr(func, '__qualname__', repr(func))}"
+
+
+class ExperimentPool:
+    """Ordered per-workload fan-out shared by every experiment runner.
+
+    ``jobs=1`` (the default) runs slices inline with zero overhead;
+    ``jobs>1`` keeps a persistent worker pool whose processes cache
+    generated traces across figures.  Use as a context manager::
+
+        with ExperimentPool(jobs=4) as pool:
+            fig10 = run_fig10(config, pool=pool)
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs <= 0:
+            raise ValueError("jobs must be positive")
+        self.jobs = jobs
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        if jobs > 1:
+            self._pool = multiprocessing.Pool(processes=jobs)
+
+    def map_workloads(self, func: WorkloadSlice, config: Any
+                      ) -> List[Tuple[str, Any]]:
+        """Apply ``func`` to every workload of ``config``, in order.
+
+        Returns ``[(workload, payload), ...]`` ordered exactly like
+        ``config.workloads``, whatever the completion order was.
+        """
+        name = _task_name(func)
+        tasks = [
+            _TaskSpec(func, config, workload,
+                      child_seed(config.seed, name, workload))
+            for workload in config.workloads
+        ]
+        if self._pool is None:
+            payloads = [_run_task(task) for task in tasks]
+        else:
+            payloads = self._pool.map(_run_task, tasks, chunksize=1)
+        return list(zip(config.workloads, payloads))
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def run_workload_grid(func: WorkloadSlice, config: Any,
+                      pool: Optional[ExperimentPool] = None
+                      ) -> List[Tuple[str, Any]]:
+    """Map ``func`` over ``config.workloads`` through ``pool`` (serial
+    when ``pool`` is None) — the one-liner every figure runner uses."""
+    if pool is None:
+        return ExperimentPool(jobs=1).map_workloads(func, config)
+    return pool.map_workloads(func, config)
+
+
+def parallel_map(func: Callable[[Any], Any], items: Sequence[Any],
+                 jobs: int = 1) -> List[Any]:
+    """Ordered process map for ad-hoc grids (e.g. the CLI compare rows).
+
+    ``func`` must be picklable (module-level); with ``jobs=1`` this is
+    just ``list(map(func, items))``.
+    """
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    if jobs == 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    with multiprocessing.Pool(processes=jobs) as pool:
+        return pool.map(func, items, chunksize=1)

@@ -3,9 +3,17 @@
 Usage::
 
     python -m repro.experiments [--quick] [--instructions N] [--cores N]
+                                [--jobs N]
 
 This is the reproduction's equivalent of the paper's full evaluation
 pass; EXPERIMENTS.md records a captured run next to the paper's numbers.
+
+``--jobs N`` fans the per-workload experiment slices out over N worker
+processes (see :mod:`repro.experiments.parallel`).  Result tables are
+bit-identical for any job count — only wall-clock changes — because
+slices are deterministic and collected in workload order.  Progress and
+timing lines go to stderr so stdout stays a clean, diffable table
+stream.
 """
 
 from __future__ import annotations
@@ -14,7 +22,7 @@ import argparse
 import sys
 import time
 from dataclasses import replace
-from typing import List
+from typing import List, Optional, TextIO
 
 from .ablations import run_all_ablations
 from .common import ExperimentConfig, QUICK_CONFIG
@@ -24,10 +32,11 @@ from .fig7 import run_fig7
 from .fig8 import run_fig8
 from .fig9 import run_fig9
 from .fig10 import run_fig10
+from .parallel import ExperimentPool
 
 
 def run_all(config: ExperimentConfig, include_ablations: bool = True,
-            stream=None) -> List[object]:
+            stream: Optional[TextIO] = None, jobs: int = 1) -> List[object]:
     """Run every experiment, printing each table as it completes."""
     out = stream if stream is not None else sys.stdout
     results: List[object] = []
@@ -38,16 +47,18 @@ def run_all(config: ExperimentConfig, include_ablations: bool = True,
         print(file=out)
 
     started = time.time()
-    for runner in (run_fig2, run_fig3, run_fig7, run_fig8, run_fig9,
-                   run_fig10):
-        step_start = time.time()
-        emit(runner(config))
-        print(f"[{runner.__name__} took {time.time() - step_start:.1f}s]\n",
-              file=out)
-    if include_ablations:
-        for ablation in run_all_ablations(config):
-            emit(ablation)
-    print(f"Total: {time.time() - started:.1f}s", file=out)
+    with ExperimentPool(jobs=jobs) as pool:
+        for runner in (run_fig2, run_fig3, run_fig7, run_fig8, run_fig9,
+                       run_fig10):
+            step_start = time.time()
+            emit(runner(config, pool=pool))
+            print(f"[{runner.__name__} took "
+                  f"{time.time() - step_start:.1f}s]",
+                  file=sys.stderr)
+        if include_ablations:
+            for ablation in run_all_ablations(config, pool=pool):
+                emit(ablation)
+    print(f"Total: {time.time() - started:.1f}s", file=sys.stderr)
     return results
 
 
@@ -62,10 +73,15 @@ def main(argv=None) -> int:
     parser.add_argument("--cores", type=int, default=None,
                         help="cores (independent traces) per workload")
     parser.add_argument("--seed", type=int, default=None, help="root seed")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the per-workload fan-out "
+                             "(tables are identical for any value)")
     parser.add_argument("--no-ablations", action="store_true",
                         help="skip the ablation sweeps")
     args = parser.parse_args(argv)
 
+    if args.jobs <= 0:
+        parser.error("--jobs must be positive")
     config = QUICK_CONFIG if args.quick else ExperimentConfig()
     overrides = {}
     if args.instructions is not None:
@@ -77,7 +93,7 @@ def main(argv=None) -> int:
     if overrides:
         config = replace(config, **overrides)
 
-    run_all(config, include_ablations=not args.no_ablations)
+    run_all(config, include_ablations=not args.no_ablations, jobs=args.jobs)
     return 0
 
 

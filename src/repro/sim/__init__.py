@@ -22,6 +22,7 @@ from .regionstats import (
     regions_of,
     trigger_offset_profile,
 )
+from .engine import run_multi_prefetch_simulation
 from .timing import TimingResult, run_timing_simulation, speedup_comparison
 from .tracesim import PrefetchSimResult, run_prefetch_simulation
 
@@ -48,5 +49,6 @@ __all__ = [
     "run_timing_simulation",
     "speedup_comparison",
     "PrefetchSimResult",
+    "run_multi_prefetch_simulation",
     "run_prefetch_simulation",
 ]

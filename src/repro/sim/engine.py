@@ -1,0 +1,154 @@
+"""Single-pass multi-prefetcher simulation engine.
+
+:func:`repro.sim.tracesim.run_prefetch_simulation` replays the whole
+trace once per engine.  Every figure that compares N prefetchers (or N
+sweep settings of one prefetcher) over the same trace therefore walked
+the identical access stream N times — the dominant cost of the full
+evaluation, since the walk is pure Python.
+
+This module replays one trace bundle against N independent *lanes* in a
+single walk.  Each lane owns its test cache and prefetch engine; lanes
+never observe each other, and every lane sees exactly the request
+sequence a standalone :func:`run_prefetch_simulation` call would feed
+it, so the per-lane results are **bit-identical** to N sequential runs
+(the equivalence test in ``tests/sim/test_engine.py`` locks this).  The
+no-prefetch baseline depends only on the access stream and the cache
+configuration, so lanes sharing a configuration share one baseline
+cache instead of re-simulating it per engine.
+
+Counter windows: ``prefetches_issued`` counts every issue over the whole
+trace — the same (unwindowed) accounting as ``prefetcher.stats`` and the
+caches' :class:`~repro.cache.stats.CacheStats` — while the miss counts
+remain restricted to the post-warmup measurement window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..cache.icache import InstructionCache
+from ..common.config import CacheConfig
+from ..prefetch.base import Prefetcher
+from ..trace.bundle import TraceBundle
+from .tracesim import PrefetchSimResult
+
+
+class _Lane:
+    """One (prefetcher, test cache) pair riding the shared trace walk."""
+
+    __slots__ = ("prefetcher", "cache", "baseline", "remaining_misses",
+                 "per_level_remaining", "prefetches_issued")
+
+    def __init__(self, prefetcher: Prefetcher, cache: InstructionCache,
+                 baseline: "_Baseline") -> None:
+        self.prefetcher = prefetcher
+        self.cache = cache
+        self.baseline = baseline
+        self.remaining_misses = 0
+        self.per_level_remaining: Dict[int, int] = {}
+        self.prefetches_issued = 0
+
+
+class _Baseline:
+    """The no-prefetch cache shared by every lane with one configuration."""
+
+    __slots__ = ("cache", "misses", "per_level")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.cache = InstructionCache(config)
+        self.misses = 0
+        self.per_level: Dict[int, int] = {}
+
+
+def run_multi_prefetch_simulation(
+    bundle: TraceBundle,
+    prefetchers: Sequence[Prefetcher],
+    cache_config: Optional[CacheConfig] = None,
+    warmup_fraction: float = 0.25,
+    cache_configs: Optional[Sequence[Optional[CacheConfig]]] = None,
+) -> List[PrefetchSimResult]:
+    """Simulate every prefetcher over ``bundle`` in one trace walk.
+
+    Arguments mirror :func:`repro.sim.tracesim.run_prefetch_simulation`;
+    ``cache_config`` applies to every lane unless ``cache_configs``
+    supplies a per-lane override (``None`` entries fall back to
+    ``cache_config``).  Returns one :class:`PrefetchSimResult` per
+    prefetcher, in input order, each identical to what a standalone
+    sequential run of that engine would have produced.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    if cache_configs is not None and len(cache_configs) != len(prefetchers):
+        raise ValueError("cache_configs must match prefetchers in length")
+    default_config = cache_config if cache_config is not None else CacheConfig()
+
+    baselines: Dict[CacheConfig, _Baseline] = {}
+    lanes: List[_Lane] = []
+    for position, prefetcher in enumerate(prefetchers):
+        lane_config = default_config
+        if cache_configs is not None and cache_configs[position] is not None:
+            lane_config = cache_configs[position]
+        baseline = baselines.get(lane_config)
+        if baseline is None:
+            baseline = _Baseline(lane_config)
+            baselines[lane_config] = baseline
+        lanes.append(_Lane(prefetcher, InstructionCache(lane_config),
+                           baseline))
+
+    accesses = bundle.accesses
+    retires = bundle.retires
+    warmup_boundary = int(len(accesses) * warmup_fraction)
+    baseline_list = list(baselines.values())
+
+    retire_cursor = 0
+    for position, access in enumerate(accesses):
+        measuring = position >= warmup_boundary
+        block = access.block
+        correct_path = not access.wrong_path
+        for baseline in baseline_list:
+            baseline_hit = baseline.cache.access(block).hit
+            if correct_path and measuring and not baseline_hit:
+                baseline.misses += 1
+                baseline.per_level[access.trap_level] = (
+                    baseline.per_level.get(access.trap_level, 0) + 1)
+        retire = None
+        if correct_path:
+            retire = retires[retire_cursor]
+            retire_cursor += 1
+        for lane in lanes:
+            test_result = lane.cache.access(block)
+            if correct_path and measuring and not test_result.hit:
+                lane.remaining_misses += 1
+                lane.per_level_remaining[access.trap_level] = (
+                    lane.per_level_remaining.get(access.trap_level, 0) + 1)
+            candidates = lane.prefetcher.on_demand_access(
+                block, access.pc, access.trap_level,
+                test_result.hit, test_result.was_prefetched)
+            for candidate in candidates:
+                lane.prefetches_issued += 1
+                lane.cache.prefetch(candidate)
+            if retire is not None:
+                lane.prefetcher.on_retire(retire.pc, retire.trap_level,
+                                          tagged=test_result.tagged)
+
+    if retire_cursor != len(retires):
+        raise RuntimeError(
+            "access/retire alignment broken: consumed "
+            f"{retire_cursor} of {len(retires)} retire records"
+        )
+
+    return [
+        PrefetchSimResult(
+            workload=bundle.workload,
+            prefetcher=lane.prefetcher.name,
+            instructions=bundle.instructions,
+            baseline_misses=lane.baseline.misses,
+            remaining_misses=lane.remaining_misses,
+            per_level_baseline=dict(lane.baseline.per_level),
+            per_level_remaining=lane.per_level_remaining,
+            prefetches_issued=lane.prefetches_issued,
+            cache_stats=lane.cache.stats,
+            baseline_stats=lane.baseline.cache.stats,
+        )
+        for lane in lanes
+    ]

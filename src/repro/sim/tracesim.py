@@ -9,6 +9,13 @@ cache-miss *coverage* of Section 5.5 (Figure 10 left).
 The retire stream is threaded through in its aligned order so
 retire-side engines (PIF) observe retirement with the fetch-stage tag of
 each instruction, as the hardware would.
+
+:func:`run_prefetch_simulation` is the single-engine entry point; it is
+a thin wrapper over :func:`repro.sim.engine.run_multi_prefetch_simulation`,
+which replays one trace against N engines in a single walk.  Call the
+multi-engine form directly when comparing engines or sweeping settings
+over the same trace — it produces bit-identical results at a fraction
+of the cost.
 """
 
 from __future__ import annotations
@@ -16,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..cache.icache import InstructionCache
 from ..cache.stats import CacheStats
 from ..common.config import CacheConfig
 from ..prefetch.base import Prefetcher
@@ -25,7 +31,14 @@ from ..trace.bundle import TraceBundle
 
 @dataclass(slots=True)
 class PrefetchSimResult:
-    """Outcome of one (trace, prefetcher) simulation."""
+    """Outcome of one (trace, prefetcher) simulation.
+
+    Counter windows: the miss counters (``baseline_misses``,
+    ``remaining_misses`` and the per-level dictionaries) cover only the
+    post-warmup measurement window; ``prefetches_issued``,
+    ``cache_stats`` and ``baseline_stats`` cover the whole trace, warmup
+    included, so accuracy ratios computed between them are consistent.
+    """
 
     workload: str
     prefetcher: str
@@ -37,26 +50,34 @@ class PrefetchSimResult:
     #: Per-trap-level baseline / remaining miss counts.
     per_level_baseline: Dict[int, int] = field(default_factory=dict)
     per_level_remaining: Dict[int, int] = field(default_factory=dict)
-    #: Prefetch requests issued during measurement.
+    #: Prefetch requests issued over the whole trace (same window as
+    #: ``cache_stats``; useful-prefetch counts live there).
     prefetches_issued: int = 0
-    #: Prefetch fills that were later demanded (useful) during measurement.
+    #: Test-cache counters for the whole trace (fills, useful prefetches).
     cache_stats: Optional[CacheStats] = None
+    #: Baseline-cache counters for the whole trace.
     baseline_stats: Optional[CacheStats] = None
 
     def coverage(self) -> float:
-        """Fraction of baseline correct-path misses eliminated."""
+        """Fraction of baseline correct-path misses eliminated.
+
+        The value is *signed*: a polluting prefetcher that inflicts more
+        misses than it removes reports negative coverage rather than a
+        silently clamped 0.0.
+        """
         if self.baseline_misses == 0:
             return 0.0
         eliminated = self.baseline_misses - self.remaining_misses
-        return max(0.0, eliminated / self.baseline_misses)
+        return eliminated / self.baseline_misses
 
     def level_coverage(self, trap_level: int) -> float:
-        """Coverage restricted to one trap level."""
+        """Coverage restricted to one trap level (signed, like
+        :meth:`coverage`)."""
         baseline = self.per_level_baseline.get(trap_level, 0)
         if baseline == 0:
             return 0.0
         remaining = self.per_level_remaining.get(trap_level, 0)
-        return max(0.0, (baseline - remaining) / baseline)
+        return (baseline - remaining) / baseline
 
     def miss_rate_reduction(self) -> float:
         """Alias for coverage, the paper's headline per-workload metric."""
@@ -70,7 +91,12 @@ class PrefetchSimResult:
         return 1000.0 * self.baseline_misses / self.instructions
 
     def describe(self) -> Dict[str, float]:
-        """Flat summary for result tables."""
+        """Flat summary for result tables.
+
+        ``prefetches_issued`` here is the whole-trace count (the
+        ``cache_stats`` window); the miss counts and ``coverage`` are
+        measurement-window values.
+        """
         return {
             "baseline_misses": float(self.baseline_misses),
             "remaining_misses": float(self.remaining_misses),
@@ -89,67 +115,11 @@ def run_prefetch_simulation(
 
     The warmup window lets caches, history buffers and predictor state
     reach steady state before counting, mirroring the paper's warmed
-    checkpoints (Section 5).
+    checkpoints (Section 5).  This is a compatibility wrapper over the
+    single-pass multi-engine simulator; see :mod:`repro.sim.engine`.
     """
-    if not 0.0 <= warmup_fraction < 1.0:
-        raise ValueError("warmup_fraction must be in [0, 1)")
-    config = cache_config if cache_config is not None else CacheConfig()
-    baseline = InstructionCache(config)
-    test = InstructionCache(config)
+    from .engine import run_multi_prefetch_simulation
 
-    accesses = bundle.accesses
-    retires = bundle.retires
-    warmup_boundary = int(len(accesses) * warmup_fraction)
-
-    baseline_misses = 0
-    remaining_misses = 0
-    per_level_baseline: Dict[int, int] = {}
-    per_level_remaining: Dict[int, int] = {}
-    prefetches_issued = 0
-
-    retire_cursor = 0
-    for position, access in enumerate(accesses):
-        measuring = position >= warmup_boundary
-        baseline_result = baseline.access(access.block)
-        test_result = test.access(access.block)
-        if not access.wrong_path:
-            if measuring:
-                if not baseline_result.hit:
-                    baseline_misses += 1
-                    per_level_baseline[access.trap_level] = (
-                        per_level_baseline.get(access.trap_level, 0) + 1)
-                if not test_result.hit:
-                    remaining_misses += 1
-                    per_level_remaining[access.trap_level] = (
-                        per_level_remaining.get(access.trap_level, 0) + 1)
-        candidates = prefetcher.on_demand_access(
-            access.block, access.pc, access.trap_level,
-            test_result.hit, test_result.was_prefetched)
-        for block in candidates:
-            if measuring:
-                prefetches_issued += 1
-            test.prefetch(block)
-        if not access.wrong_path:
-            retire = retires[retire_cursor]
-            retire_cursor += 1
-            prefetcher.on_retire(retire.pc, retire.trap_level,
-                                 tagged=test_result.tagged)
-
-    if retire_cursor != len(retires):
-        raise RuntimeError(
-            "access/retire alignment broken: consumed "
-            f"{retire_cursor} of {len(retires)} retire records"
-        )
-
-    return PrefetchSimResult(
-        workload=bundle.workload,
-        prefetcher=prefetcher.name,
-        instructions=bundle.instructions,
-        baseline_misses=baseline_misses,
-        remaining_misses=remaining_misses,
-        per_level_baseline=per_level_baseline,
-        per_level_remaining=per_level_remaining,
-        prefetches_issued=prefetches_issued,
-        cache_stats=test.stats,
-        baseline_stats=baseline.stats,
-    )
+    return run_multi_prefetch_simulation(
+        bundle, [prefetcher], cache_config=cache_config,
+        warmup_fraction=warmup_fraction)[0]

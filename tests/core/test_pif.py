@@ -15,7 +15,10 @@ def retire_sequence(pif, blocks, trap_level=0, tagged=True):
         pif.on_retire(pc_of(block), trap_level, tagged)
 
 
-def demand(pif, block, trap_level=0, hit=True, was_prefetched=False):
+def demand(pif, block, trap_level=0, hit=False, was_prefetched=False):
+    """A demand access; defaults model a tagged miss (the allocation
+    trigger of Section 4.3 — there is no cache in these unit tests, so
+    an un-prefetched access misses)."""
     return pif.on_demand_access(block, pc_of(block), trap_level, hit,
                                 was_prefetched)
 
@@ -40,7 +43,8 @@ class TestRecordAndReplay:
         prefetched = set(demand(pif, STREAM[0]))
         for block in STREAM[1:]:
             assert block in prefetched, f"block {block} not prefetched ahead"
-            prefetched.update(demand(pif, block, was_prefetched=True))
+            prefetched.update(demand(pif, block, hit=True,
+                                     was_prefetched=True))
 
     def test_no_prediction_without_history(self):
         pif = ProactiveInstructionFetch()
@@ -52,7 +56,35 @@ class TestRecordAndReplay:
             demand(pif, block)
             pif.on_retire(pc_of(block), 0, tagged=True)
         pif.on_retire(pc_of(9999), 0, tagged=True)
-        assert demand(pif, STREAM[0], was_prefetched=True) == []
+        assert demand(pif, STREAM[0], hit=True, was_prefetched=True) == []
+
+    def test_tagged_hit_does_not_allocate(self):
+        """Regression: allocation requires a *miss*, not just a tagged
+        fetch — a tagged L1-I hit must not start a stream (Section 4.3)."""
+        pif = ProactiveInstructionFetch()
+        for block in STREAM:
+            demand(pif, block)
+            pif.on_retire(pc_of(block), 0, tagged=True)
+        pif.on_retire(pc_of(9999), 0, tagged=True)
+        assert demand(pif, STREAM[0], hit=True) == []
+        assert pif.stats.stream_allocations == 0
+
+    def test_window_match_does_not_suppress_allocation_on_tagged_miss(self):
+        """Regression: a head-region SAB match returns no new blocks, but
+        a tagged miss must still be allowed to (re)allocate a stream."""
+        pif = ProactiveInstructionFetch(PIFConfig(sab_window_regions=3))
+        for block in STREAM:
+            demand(pif, block)
+            pif.on_retire(pc_of(block), 0, tagged=True)
+        pif.on_retire(pc_of(9999), 0, tagged=True)
+        first = demand(pif, STREAM[0])
+        assert first and pif.stats.stream_allocations == 1
+        # The active SAB's head region still covers STREAM[0]; a repeat
+        # tagged miss on it matches the window (empty advance) yet must
+        # reallocate from the index rather than being swallowed.
+        again = demand(pif, STREAM[0])
+        assert pif.stats.stream_allocations == 2
+        assert set(STREAM[1:3]) <= set(again)
 
     def test_tagged_retire_controls_index(self):
         pif = ProactiveInstructionFetch()

@@ -1,0 +1,88 @@
+"""Parallel experiment fan-out: ordering, determinism, equivalence."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.ablations import run_source_ablation
+from repro.experiments.common import QUICK_CONFIG
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.parallel import (
+    ExperimentPool,
+    parallel_map,
+    run_workload_grid,
+)
+
+#: Tiny configuration so the process-pool tests stay fast.
+TINY = replace(QUICK_CONFIG, instructions=60_000,
+               workloads=("oltp-db2", "dss-qry2"))
+
+
+def _workload_tag(config, workload):
+    """Module-level slice function (must be picklable for the pool)."""
+    return f"{workload}@{config.instructions}"
+
+
+def _double(value):
+    return 2 * value
+
+
+class TestPlumbing:
+    def test_serial_grid_preserves_workload_order(self):
+        pairs = run_workload_grid(_workload_tag, TINY, pool=None)
+        assert [w for w, _ in pairs] == list(TINY.workloads)
+        assert pairs[0][1] == "oltp-db2@60000"
+
+    def test_pool_grid_matches_serial(self):
+        serial = run_workload_grid(_workload_tag, TINY, pool=None)
+        with ExperimentPool(jobs=2) as pool:
+            fanned = pool.map_workloads(_workload_tag, TINY)
+        assert fanned == serial
+
+    def test_parallel_map_is_ordered(self):
+        items = list(range(7))
+        assert parallel_map(_double, items, jobs=2) == \
+            [2 * item for item in items]
+        assert parallel_map(_double, items, jobs=1) == \
+            [2 * item for item in items]
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            ExperimentPool(jobs=0)
+        with pytest.raises(ValueError):
+            parallel_map(_double, [1], jobs=0)
+
+    def test_pool_close_is_idempotent(self):
+        pool = ExperimentPool(jobs=2)
+        pool.close()
+        pool.close()
+
+
+class TestBitIdenticalResults:
+    """The acceptance bar: fanned-out tables == sequential tables."""
+
+    def test_fig3_tables_identical(self):
+        sequential = run_fig3(TINY)
+        with ExperimentPool(jobs=2) as pool:
+            fanned = run_fig3(TINY, pool=pool)
+        assert fanned.to_table() == sequential.to_table()
+        assert fanned.density == sequential.density
+        assert fanned.discontinuity == sequential.discontinuity
+
+    def test_fig10_tables_identical(self):
+        config = replace(TINY, workloads=("oltp-db2",))
+        sequential = run_fig10(config)
+        with ExperimentPool(jobs=2) as pool:
+            fanned = run_fig10(config, pool=pool)
+        assert fanned.to_table() == sequential.to_table()
+        assert fanned.coverage == sequential.coverage
+        assert fanned.speedup == sequential.speedup
+
+    def test_ablation_tables_identical(self):
+        config = replace(TINY, workloads=("dss-qry2",))
+        sequential = run_source_ablation(config)
+        with ExperimentPool(jobs=2) as pool:
+            fanned = run_source_ablation(config, pool=pool)
+        assert fanned.to_table() == sequential.to_table()
+        assert fanned.coverage == sequential.coverage

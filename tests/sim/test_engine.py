@@ -1,0 +1,100 @@
+"""Single-pass multi-prefetcher engine: equivalence and lane isolation.
+
+The contract of :func:`repro.sim.engine.run_multi_prefetch_simulation`
+is that one shared trace walk produces, for every lane, *exactly* the
+result a standalone :func:`run_prefetch_simulation` call would have —
+same misses, same per-level counts, same coverage, same issue counts.
+"""
+
+import pytest
+
+from repro.common.config import CacheConfig, PIFConfig
+from repro.core.pif import ProactiveInstructionFetch
+from repro.prefetch import make_prefetcher
+from repro.sim.engine import run_multi_prefetch_simulation
+from repro.sim.tracesim import run_prefetch_simulation
+
+#: Engines compared in the shared walk (the competitive set + stride).
+ENGINE_SET = ("pif", "next-line", "stride", "tifs")
+
+CACHE = CacheConfig(capacity_bytes=16 * 1024, associativity=2)
+
+
+def build_engine(name: str):
+    if name == "pif":
+        return ProactiveInstructionFetch(PIFConfig(sab_window_regions=3))
+    return make_prefetcher(name)
+
+
+def assert_results_identical(single, multi):
+    assert single.prefetcher == multi.prefetcher
+    assert single.baseline_misses == multi.baseline_misses
+    assert single.remaining_misses == multi.remaining_misses
+    assert single.per_level_baseline == multi.per_level_baseline
+    assert single.per_level_remaining == multi.per_level_remaining
+    assert single.prefetches_issued == multi.prefetches_issued
+    assert single.coverage() == multi.coverage()
+    assert single.cache_stats.demand_misses == \
+        multi.cache_stats.demand_misses
+    assert single.cache_stats.prefetch_requests == \
+        multi.cache_stats.prefetch_requests
+    assert single.cache_stats.useful_prefetches == \
+        multi.cache_stats.useful_prefetches
+
+
+class TestEquivalence:
+    def test_matches_sequential_runs_per_engine(self, oltp_trace):
+        """One shared walk == N sequential walks, bit for bit."""
+        bundle = oltp_trace.bundle
+        multi = run_multi_prefetch_simulation(
+            bundle, [build_engine(name) for name in ENGINE_SET],
+            cache_config=CACHE, warmup_fraction=0.4)
+        assert [r.prefetcher for r in multi] == \
+            [build_engine(n).name for n in ENGINE_SET]
+        for name, multi_result in zip(ENGINE_SET, multi):
+            single = run_prefetch_simulation(
+                bundle, build_engine(name), cache_config=CACHE,
+                warmup_fraction=0.4)
+            assert_results_identical(single, multi_result)
+
+    def test_lanes_share_one_baseline(self, oltp_trace):
+        """Lanes with the same cache configuration report the same
+        baseline, computed once."""
+        results = run_multi_prefetch_simulation(
+            oltp_trace.bundle,
+            [build_engine("pif"), build_engine("next-line")],
+            cache_config=CACHE, warmup_fraction=0.4)
+        assert results[0].baseline_misses == results[1].baseline_misses
+        assert results[0].baseline_stats is results[1].baseline_stats
+
+    def test_per_lane_cache_configs(self, oltp_trace):
+        """Per-lane cache overrides give each lane its own baseline,
+        equal to what a sequential run at that configuration reports."""
+        small = CacheConfig(capacity_bytes=8 * 1024, associativity=2)
+        results = run_multi_prefetch_simulation(
+            oltp_trace.bundle,
+            [build_engine("next-line"), build_engine("next-line")],
+            cache_config=CACHE, cache_configs=[None, small],
+            warmup_fraction=0.4)
+        assert results[1].baseline_misses > results[0].baseline_misses
+        single = run_prefetch_simulation(
+            oltp_trace.bundle, build_engine("next-line"),
+            cache_config=small, warmup_fraction=0.4)
+        assert_results_identical(single, results[1])
+
+
+class TestValidation:
+    def test_rejects_bad_warmup(self, oltp_trace):
+        with pytest.raises(ValueError):
+            run_multi_prefetch_simulation(
+                oltp_trace.bundle, [build_engine("next-line")],
+                warmup_fraction=1.0)
+
+    def test_rejects_mismatched_cache_configs(self, oltp_trace):
+        with pytest.raises(ValueError):
+            run_multi_prefetch_simulation(
+                oltp_trace.bundle, [build_engine("next-line")],
+                cache_configs=[CACHE, CACHE])
+
+    def test_empty_engine_list_is_a_noop(self, oltp_trace):
+        assert run_multi_prefetch_simulation(oltp_trace.bundle, []) == []

@@ -71,7 +71,22 @@ class TestAccounting:
             oltp_trace.bundle, make_prefetcher("next-line"),
             cache_config=test_cache_config)
         for level in result.per_level_baseline:
-            assert 0.0 <= result.level_coverage(level) <= 1.0
+            # Signed (unbounded below under pollution); at best every
+            # baseline miss at the level is eliminated.
+            assert result.level_coverage(level) <= 1.0
+
+    def test_coverage_is_signed_not_clamped(self):
+        """Regression: prefetch-induced pollution must surface as
+        negative coverage instead of a silent 0.0."""
+        from repro.sim.tracesim import PrefetchSimResult
+
+        polluted = PrefetchSimResult(
+            workload="crafted", prefetcher="bad", instructions=1000,
+            baseline_misses=100, remaining_misses=150,
+            per_level_baseline={0: 100}, per_level_remaining={0: 150})
+        assert polluted.coverage() == pytest.approx(-0.5)
+        assert polluted.level_coverage(0) == pytest.approx(-0.5)
+        assert polluted.describe()["coverage"] == pytest.approx(-0.5)
 
     def test_describe_and_mpki(self, oltp_trace, test_cache_config):
         result = run_prefetch_simulation(
@@ -81,6 +96,19 @@ class TestAccounting:
         assert set(result.describe()) == {
             "baseline_misses", "remaining_misses", "coverage",
             "prefetches_issued"}
+
+    def test_issue_counter_windows_consistent(self, oltp_trace,
+                                              test_cache_config):
+        """Regression: ``prefetches_issued``, the engine's own issue
+        counter and the cache's request counter all cover the same
+        (whole-trace) window, so accuracy ratios between them line up."""
+        engine = ProactiveInstructionFetch()
+        result = run_prefetch_simulation(
+            oltp_trace.bundle, engine, cache_config=test_cache_config,
+            warmup_fraction=0.4)
+        assert result.prefetches_issued == \
+            result.cache_stats.prefetch_requests
+        assert result.prefetches_issued == engine.stats.issued
 
     def test_rejects_bad_warmup(self, oltp_trace):
         with pytest.raises(ValueError):

@@ -69,5 +69,7 @@ class TestEndToEnd:
                 engine = make_prefetcher(engine_name)
                 result = run_prefetch_simulation(bundle, engine,
                                                  cache_config=CACHE)
-                assert 0.0 <= result.coverage() <= 1.0, (workload,
-                                                         engine_name)
+                # Coverage is signed (unbounded below for a polluting
+                # engine); a prefetcher can at best eliminate every
+                # baseline miss.
+                assert result.coverage() <= 1.0, (workload, engine_name)
