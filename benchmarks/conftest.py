@@ -3,13 +3,18 @@
 The benchmarks regenerate every paper figure at a reduced-but-faithful
 scale (see DESIGN.md's scale note).  Each prints the same rows/series
 the paper reports, so ``pytest benchmarks/ --benchmark-only -s`` doubles
-as the reproduction's results run.  For the full-scale pass used in
-EXPERIMENTS.md, run ``python -m repro.experiments`` (``--jobs N`` fans
-the per-workload slices out over processes).
+as the reproduction's results run.  For the full-scale pass, run
+``python -m repro.experiments`` (``--jobs N`` fans the per-workload
+slices out over processes).
 
 Everything collected from this directory carries the ``bench`` marker
 (registered in ``pytest.ini``), so ``pytest -m "not bench"`` gives a
 fast correctness-only pass while the bare tier-1 command stays complete.
+
+The benchmark traces go through the on-disk trace store; when
+``REPRO_TRACE_STORE`` is not explicitly set (CI sets it to a cached
+workspace directory), it is redirected to a throwaway directory so
+benchmark runs never populate the user's real ``~/.cache``.
 """
 
 from __future__ import annotations
@@ -19,6 +24,9 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.common import ExperimentConfig
+from repro.trace.store import ensure_scratch_store
+
+ensure_scratch_store(prefix="repro-bench-traces-")
 
 _BENCH_DIR = Path(__file__).resolve().parent
 

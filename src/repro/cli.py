@@ -1,6 +1,7 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or the
+``repro`` console script).
 
-Three commands cover the everyday workflows:
+Four commands cover the everyday workflows:
 
 * ``trace``    — generate a workload trace, print its characterization,
   optionally save it as a ``.npz`` bundle for external tools;
@@ -9,7 +10,11 @@ Three commands cover the everyday workflows:
 * ``compare``  — the Figure 10 matrix for a chosen set of engines; each
   workload's trace is replayed *once* against every engine through the
   single-pass multi-prefetcher engine (:mod:`repro.sim.engine`), and
-  ``--jobs N`` fans the workload rows out over N processes.
+  ``--jobs N`` fans the workload rows out over N processes;
+* ``traces``   — manage the content-addressed on-disk trace store
+  (:mod:`repro.trace.store`): ``build`` pre-generates the experiment
+  matrix's bundles (``--jobs N`` fans out per trace), ``ls`` lists what
+  is cached, ``gc`` evicts stale or over-budget archives.
 
 The full figure-by-figure evaluation lives in
 ``python -m repro.experiments`` (which takes the same ``--jobs`` flag).
@@ -19,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import asdict
 from typing import List, NamedTuple, Optional, Tuple
 
 from .common.config import CacheConfig, PIFConfig
@@ -30,6 +36,7 @@ from .sim.engine import run_multi_prefetch_simulation
 from .sim.tracesim import run_prefetch_simulation
 from .trace.serialize import save_bundle
 from .trace.stats import analyze_block_stream
+from .trace.store import TraceKey, TraceStore, generator_version_hash
 from .workloads.spec import WORKLOAD_NAMES
 
 #: Engine names the CLI accepts (PIF gets the experiment-scale window).
@@ -61,11 +68,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     trace = generate_trace(args.workload, instructions=args.instructions,
                            seed=args.seed)
     bundle = trace.bundle
-    stats = analyze_block_stream(bundle.retire_blocks())
+    stats = analyze_block_stream(bundle.retire_block_array())
     print(f"workload            {bundle.workload}")
     print(f"instructions        {bundle.instructions:,}")
-    print(f"retire records      {len(bundle.retires):,}")
-    print(f"fetch accesses      {len(bundle.accesses):,}")
+    print(f"retire records      {len(bundle.retire_pc):,}")
+    print(f"fetch accesses      {len(bundle.access_block):,}")
     print(f"wrong-path fraction {bundle.wrong_path_fraction():.1%}")
     print(f"touched footprint   {bundle.footprint_blocks() * 64 // 1024} KB")
     print(f"sequential fraction {stats.sequential_fraction:.1%}")
@@ -136,6 +143,137 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_for(args: argparse.Namespace) -> Optional[TraceStore]:
+    """The store a ``traces`` subcommand operates on (``--store`` wins
+    over the environment).  Prints the shared disabled-store error and
+    returns None when persistence is off, so callers just exit 2."""
+    if args.store is not None:
+        return TraceStore(args.store)
+    store = TraceStore.from_env()
+    if store is None:
+        print("trace store is disabled (REPRO_TRACE_STORE); pass --store",
+              file=sys.stderr)
+    return store
+
+
+class _BuildTask(NamedTuple):
+    """One (workload, core) archive to ensure in the store."""
+
+    workload: str
+    instructions: int
+    seed: int
+    core: int
+    store_root: str
+
+
+def _build_one(task: _BuildTask) -> str:
+    """Ensure one trace archive exists; returns 'cached' or 'built'.
+
+    Presence is checked by path, not by loading: decompressing a
+    multi-MB archive (and bumping its LRU mtime) just to print "cached"
+    would make a warm no-op build as expensive as a real load pass.
+    Corrupt archives still self-heal on the consumer path
+    (``cached_trace`` -> ``store.get``).
+    """
+    store = TraceStore(task.store_root)
+    key = TraceKey(task.workload, task.instructions, task.seed, task.core)
+    if store.path_for(key).exists():
+        return "cached"
+    trace = generate_trace(task.workload, instructions=task.instructions,
+                           seed=task.seed, core=task.core)
+    store.put(key, trace.bundle,
+              extra={"frontend_stats": asdict(trace.frontend_stats)})
+    return "built"
+
+
+def cmd_traces_build(args: argparse.Namespace) -> int:
+    """Pre-generate the experiment matrix's traces into the store.
+
+    Defaults track the experiment configurations (``--quick`` selects
+    ``QUICK_CONFIG``, otherwise ``ExperimentConfig``), so a plain
+    ``repro traces build`` produces exactly the archives a subsequent
+    ``python -m repro.experiments`` run will look up.
+    """
+    from .experiments.common import QUICK_CONFIG, ExperimentConfig
+
+    store = _store_for(args)
+    if store is None:
+        return 2
+    if args.jobs <= 0:
+        print("--jobs must be positive", file=sys.stderr)
+        return 2
+    config = QUICK_CONFIG if args.quick else ExperimentConfig()
+    instructions = (args.instructions if args.instructions is not None
+                    else config.instructions)
+    seed = args.seed if args.seed is not None else config.seed
+    cores = args.cores if args.cores is not None else config.cores
+    workloads = (sorted(WORKLOAD_NAMES) if args.workloads == "all"
+                 else args.workloads.split(","))
+    for workload in workloads:
+        if workload not in WORKLOAD_NAMES:
+            print(f"unknown workload {workload!r}; choose from "
+                  f"{sorted(WORKLOAD_NAMES)}", file=sys.stderr)
+            return 2
+    tasks = [
+        _BuildTask(workload, instructions, seed, core, str(store.root))
+        for workload in workloads for core in range(cores)
+    ]
+    outcomes = parallel_map(_build_one, tasks, jobs=args.jobs)
+    for task, outcome in zip(tasks, outcomes):
+        print(f"{outcome:7s}  {task.workload} core {task.core} "
+              f"({task.instructions:,} instructions, seed {task.seed})")
+    built = sum(1 for outcome in outcomes if outcome == "built")
+    print(f"{built} built, {len(outcomes) - built} already cached, "
+          f"store at {store.root}")
+    return 0
+
+
+def cmd_traces_ls(args: argparse.Namespace) -> int:
+    """List the store's archives, current generator version first."""
+    store = _store_for(args)
+    if store is None:
+        return 2
+    entries = store.entries()
+    print(f"store   {store.root}")
+    print(f"version {generator_version_hash()[:12]}")
+    if not entries:
+        print("(empty)")
+        return 0
+    total = 0
+    for entry in entries:
+        total += entry.size_bytes
+        if entry.key is None:
+            # Not a store-produced name: listed for visibility, but gc
+            # deliberately never touches it.
+            print(f"  {'foreign':8s} {entry.size_bytes / 1024:8.1f} KB  "
+                  f"{entry.path.name} (not managed by the store)")
+        else:
+            state = "current" if entry.current else "stale"
+            key = entry.key
+            print(f"  {state:8s} {entry.size_bytes / 1024:8.1f} KB  "
+                  f"{key.workload} i={key.instructions:,} s={key.seed} "
+                  f"c={key.core}")
+    print(f"{len(entries)} archives, {total / 1024:.1f} KB")
+    return 0
+
+
+def cmd_traces_gc(args: argparse.Namespace) -> int:
+    """Evict stale (and optionally over-budget or all) archives."""
+    store = _store_for(args)
+    if store is None:
+        return 2
+    removed = store.gc(max_bytes=args.max_bytes, remove_all=args.all)
+    # gc also sweeps abandoned atomic-write staging files (under .tmp/);
+    # report those separately — they were never listed as archives.
+    scratch = [path for path in removed if path.parent != store.root]
+    archives = len(removed) - len(scratch)
+    message = f"removed {archives} archives from {store.root}"
+    if scratch:
+        message += f" (+{len(scratch)} abandoned scratch files)"
+    print(message)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -166,6 +304,50 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for the workload rows "
                               "(output is identical for any value)")
     compare.set_defaults(func=cmd_compare)
+
+    traces = commands.add_parser(
+        "traces", help="manage the on-disk trace store")
+    trace_commands = traces.add_subparsers(dest="traces_command",
+                                           required=True)
+
+    def _add_store(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--store", default=None,
+                            help="store directory (default: "
+                                 "$REPRO_TRACE_STORE or ~/.cache/repro/traces)")
+
+    build = trace_commands.add_parser(
+        "build", help="pre-generate the experiment traces into the store")
+    _add_store(build)
+    build.add_argument("--workloads", default="all",
+                       help="comma-separated workload list, or 'all'")
+    build.add_argument("--quick", action="store_true",
+                       help="QUICK_CONFIG scale (what the CI smoke and "
+                            "--quick experiment runs replay)")
+    build.add_argument("--instructions", type=int, default=None,
+                       help="trace length per core (default: the "
+                            "selected experiment config's)")
+    build.add_argument("--seed", type=int, default=None,
+                       help="root seed (default: the experiment config's)")
+    build.add_argument("--cores", type=int, default=None,
+                       help="cores (independent traces) per workload "
+                            "(default: the experiment config's)")
+    build.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (one trace per task)")
+    build.set_defaults(func=cmd_traces_build)
+
+    ls = trace_commands.add_parser("ls", help="list stored archives")
+    _add_store(ls)
+    ls.set_defaults(func=cmd_traces_ls)
+
+    gc = trace_commands.add_parser(
+        "gc", help="evict stale or over-budget archives")
+    _add_store(gc)
+    gc.add_argument("--max-bytes", type=int, default=None,
+                    help="additionally evict LRU current archives to fit "
+                         "this budget")
+    gc.add_argument("--all", action="store_true",
+                    help="clear the store completely")
+    gc.set_defaults(func=cmd_traces_gc)
     return parser
 
 

@@ -20,7 +20,7 @@ fragmented by them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..common.addressing import RegionGeometry

@@ -3,10 +3,10 @@
 Usage::
 
     python -m repro.experiments [--quick] [--instructions N] [--cores N]
-                                [--jobs N]
+                                [--jobs N] [--figures fig2,fig10]
 
 This is the reproduction's equivalent of the paper's full evaluation
-pass; EXPERIMENTS.md records a captured run next to the paper's numbers.
+pass; DESIGN.md records how its half-scale regime maps onto the paper's.
 
 ``--jobs N`` fans the per-workload experiment slices out over N worker
 processes (see :mod:`repro.experiments.parallel`).  Result tables are
@@ -34,12 +34,40 @@ from .fig9 import run_fig9
 from .fig10 import run_fig10
 from .parallel import ExperimentPool
 
+#: Figure name -> runner, in the paper's presentation order.
+FIGURE_RUNNERS = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+}
+
 
 def run_all(config: ExperimentConfig, include_ablations: bool = True,
-            stream: Optional[TextIO] = None, jobs: int = 1) -> List[object]:
-    """Run every experiment, printing each table as it completes."""
+            stream: Optional[TextIO] = None, jobs: int = 1,
+            figures: Optional[List[str]] = None) -> List[object]:
+    """Run every experiment, printing each table as it completes.
+
+    ``figures`` restricts the run to a subset of :data:`FIGURE_RUNNERS`
+    names (presentation order is preserved regardless of input order);
+    unknown names raise ValueError rather than silently running
+    nothing.  A figure subset also skips the ablation sweeps — they are
+    not figures, and would dominate the wall-clock of the single-figure
+    smoke runs the parameter exists for.
+    """
     out = stream if stream is not None else sys.stdout
     results: List[object] = []
+    if figures is None:
+        selected = list(FIGURE_RUNNERS)
+    else:
+        unknown = sorted(set(figures) - set(FIGURE_RUNNERS))
+        if unknown or not figures:
+            raise ValueError(f"figures must name at least one of "
+                             f"{list(FIGURE_RUNNERS)}; got {sorted(figures)}")
+        selected = [name for name in FIGURE_RUNNERS if name in set(figures)]
+        include_ablations = False
 
     def emit(result) -> None:
         results.append(result)
@@ -48,8 +76,8 @@ def run_all(config: ExperimentConfig, include_ablations: bool = True,
 
     started = time.time()
     with ExperimentPool(jobs=jobs) as pool:
-        for runner in (run_fig2, run_fig3, run_fig7, run_fig8, run_fig9,
-                       run_fig10):
+        for name in selected:
+            runner = FIGURE_RUNNERS[name]
             step_start = time.time()
             emit(runner(config, pool=pool))
             print(f"[{runner.__name__} took "
@@ -78,10 +106,18 @@ def main(argv=None) -> int:
                              "(tables are identical for any value)")
     parser.add_argument("--no-ablations", action="store_true",
                         help="skip the ablation sweeps")
+    parser.add_argument("--figures", default=None,
+                        help="comma-separated subset of figures to run "
+                             f"(choices: {','.join(FIGURE_RUNNERS)}); "
+                             "implies --no-ablations")
     args = parser.parse_args(argv)
 
     if args.jobs <= 0:
         parser.error("--jobs must be positive")
+    figures = None
+    if args.figures is not None:
+        figures = [name.strip() for name in args.figures.split(",")
+                   if name.strip()]
     config = QUICK_CONFIG if args.quick else ExperimentConfig()
     overrides = {}
     if args.instructions is not None:
@@ -93,7 +129,11 @@ def main(argv=None) -> int:
     if overrides:
         config = replace(config, **overrides)
 
-    run_all(config, include_ablations=not args.no_ablations, jobs=args.jobs)
+    try:
+        run_all(config, include_ablations=not args.no_ablations,
+                jobs=args.jobs, figures=figures)
+    except ValueError as error:
+        parser.error(str(error))
     return 0
 
 

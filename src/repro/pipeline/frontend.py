@@ -19,7 +19,7 @@ outcome to its retire event without timestamps.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 from ..branch.btb import BranchTargetBuffer, ReturnAddressStack

@@ -7,16 +7,23 @@ streams of one simulated core.
 
 Programs and traces are cached per parameter tuple because every
 experiment in the evaluation matrix replays the same six workloads.
+The cache is two-level: an in-process ``lru_cache`` in front of the
+content-addressed on-disk :class:`~repro.trace.store.TraceStore`, so
+repeat runs (and every :class:`~repro.experiments.parallel.ExperimentPool`
+worker process) load columnar ``.npz`` archives instead of re-executing
+the generator.  Store round-trips are bit-identical to fresh
+generation; set ``REPRO_TRACE_STORE=off`` to disable persistence.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from functools import lru_cache
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
-from ..common.config import BranchPredictorConfig, PipelineConfig, SystemConfig
+from ..common.config import SystemConfig
 from ..trace.bundle import TraceBundle
+from ..trace.store import TraceKey, TraceStore
 from ..workloads.executor import ProgramExecutor
 from ..workloads.generator import build_program
 from ..workloads.program import SyntheticProgram
@@ -87,16 +94,45 @@ def generate_trace(
     return GeneratedTrace(bundle=bundle, frontend_stats=frontend.stats)
 
 
+def _stats_from_extra(extra: Dict[str, Any]) -> FrontEndStats:
+    """Rebuild front-end statistics from a store archive's metadata."""
+    recorded = extra.get("frontend_stats")
+    if not isinstance(recorded, dict):
+        return FrontEndStats()
+    known = FrontEndStats.__dataclass_fields__
+    return FrontEndStats(**{name: int(value)
+                            for name, value in recorded.items()
+                            if name in known})
+
+
 @lru_cache(maxsize=128)
 def cached_trace(workload: str, instructions: int, seed: int,
                  core: int = 0) -> GeneratedTrace:
     """Memoized :func:`generate_trace` for the named paper workloads.
 
     Experiments and benchmarks share traces through this entry point so
-    the expensive generation cost is paid once per parameter tuple.
+    the expensive generation cost is paid once per parameter tuple —
+    first from the in-process cache, then from the on-disk
+    :class:`~repro.trace.store.TraceStore` (keyed by the same tuple plus
+    the generator-version hash), and only then by running the
+    generator.  Freshly generated traces are persisted back to the
+    store, front-end statistics included.
     """
-    return generate_trace(workload, instructions=instructions, seed=seed,
-                          core=core)
+    store = TraceStore.from_env()
+    key = TraceKey(workload=workload, instructions=instructions,
+                   seed=seed, core=core)
+    if store is not None:
+        loaded = store.get(key)
+        if loaded is not None:
+            bundle, extra = loaded
+            return GeneratedTrace(bundle=bundle,
+                                  frontend_stats=_stats_from_extra(extra))
+    trace = generate_trace(workload, instructions=instructions, seed=seed,
+                           core=core)
+    if store is not None:
+        store.put(key, trace.bundle,
+                  extra={"frontend_stats": asdict(trace.frontend_stats)})
+    return trace
 
 
 def multi_core_traces(workload: str, instructions: int, seed: int,

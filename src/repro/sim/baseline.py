@@ -1,0 +1,169 @@
+"""Specialized no-prefetch baseline replay over raw trace columns.
+
+Every coverage measurement needs the same denominator: the demand
+misses a plain L1-I takes on the access stream with no prefetcher
+attached.  The generic :class:`~repro.cache.icache.InstructionCache`
+computes it faithfully but expensively — per-access ``AccessResult``
+allocation, per-set policy objects, per-line dataclasses — and, being
+pure bookkeeping with no prefetch interaction, it is the one part of
+the replay that specializes cleanly.
+
+:func:`replay_baseline` walks the columnar access stream once with the
+minimal per-set state each replacement policy actually needs (a recency
+list for LRU, a fill queue for FIFO, a way table plus the per-set
+``Random(0)`` draw sequence for random — matching the cache model's
+policy construction exactly) and records a per-access hit flag.  All
+counting is then vectorized over that flag array: warmup windowing,
+correct-path filtering and per-trap-level miss counts become numpy mask
+reductions (:func:`count_measured_misses`) instead of per-access branch
+work.
+
+The contract is bit-identical results: the hit flags, the
+:class:`~repro.cache.stats.CacheStats` counters, and the derived miss
+counts all equal what an ``InstructionCache`` walk over the object view
+produces (``tests/sim/test_baseline.py`` locks this against the real
+cache model).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cache.stats import CacheStats
+from ..common.config import CacheConfig
+from ..trace.bundle import TraceBundle
+
+
+@dataclass(slots=True)
+class BaselineReplay:
+    """Outcome of one no-prefetch replay of an access stream."""
+
+    #: Per-access demand-hit flag, aligned with the access columns.
+    hits: np.ndarray
+    #: Whole-trace cache counters (prefetch counters are all zero).
+    stats: CacheStats
+
+
+def _replay_lru(blocks: List[int], n_sets: int, ways: int,
+                hits: np.ndarray) -> int:
+    """LRU replay; returns the eviction count and fills ``hits``."""
+    sets: List[List[int]] = [[] for _ in range(n_sets)]
+    evictions = 0
+    for position, block in enumerate(blocks):
+        lines = sets[block % n_sets]
+        if block in lines:
+            hits[position] = True
+            if lines[-1] != block:
+                lines.remove(block)
+                lines.append(block)
+        else:
+            if len(lines) == ways:
+                del lines[0]
+                evictions += 1
+            lines.append(block)
+    return evictions
+
+
+def _replay_fifo(blocks: List[int], n_sets: int, ways: int,
+                 hits: np.ndarray) -> int:
+    """FIFO replay: hits do not promote; victim is the oldest fill."""
+    sets: List[List[int]] = [[] for _ in range(n_sets)]
+    evictions = 0
+    for position, block in enumerate(blocks):
+        lines = sets[block % n_sets]
+        if block in lines:
+            hits[position] = True
+        else:
+            if len(lines) == ways:
+                del lines[0]
+                evictions += 1
+            lines.append(block)
+    return evictions
+
+
+def _replay_random(blocks: List[int], n_sets: int, ways: int,
+                   hits: np.ndarray,
+                   rng: Optional[random.Random]) -> int:
+    """Random replay, reproducing the cache model's draw sequence.
+
+    The cache model builds one policy per set; with no shared RNG each
+    set's policy owns an independent ``Random(0)``, and free ways are
+    filled lowest-index first.  Both details are replicated so the
+    victim sequence — and therefore every hit flag — matches.
+    """
+    way_blocks: List[List[Optional[int]]] = [[None] * ways
+                                             for _ in range(n_sets)]
+    rngs: List[random.Random] = [
+        rng if rng is not None else random.Random(0) for _ in range(n_sets)]
+    evictions = 0
+    for position, block in enumerate(blocks):
+        index = block % n_sets
+        slots = way_blocks[index]
+        if block in slots:
+            hits[position] = True
+        else:
+            try:
+                way = slots.index(None)
+            except ValueError:
+                way = rngs[index].randrange(ways)
+                evictions += 1
+            slots[way] = block
+    return evictions
+
+
+def replay_baseline(bundle: TraceBundle,
+                    config: Optional[CacheConfig] = None,
+                    rng: Optional[random.Random] = None) -> BaselineReplay:
+    """Replay ``bundle``'s access stream through a no-prefetch cache.
+
+    Bit-identical to driving :class:`~repro.cache.icache.InstructionCache`
+    over every access: same hit flags, same counters.  ``rng`` mirrors
+    the cache constructor's optional shared RNG for the random policy
+    (the default, ``None``, gives each set an independent ``Random(0)``
+    exactly as the cache model does).
+    """
+    cache_config = config if config is not None else CacheConfig()
+    blocks = bundle.access_block.tolist()
+    hits = np.zeros(len(blocks), dtype=np.bool_)
+    n_sets, ways = cache_config.n_sets, cache_config.associativity
+    if cache_config.replacement == "lru":
+        evictions = _replay_lru(blocks, n_sets, ways, hits)
+    elif cache_config.replacement == "fifo":
+        evictions = _replay_fifo(blocks, n_sets, ways, hits)
+    elif cache_config.replacement == "random":
+        evictions = _replay_random(blocks, n_sets, ways, hits, rng)
+    else:
+        raise ValueError(
+            f"unknown replacement policy {cache_config.replacement!r}")
+    stats = CacheStats()
+    stats.demand_accesses = len(blocks)
+    stats.demand_hits = int(np.count_nonzero(hits))
+    stats.demand_misses = stats.demand_accesses - stats.demand_hits
+    stats.evictions = evictions
+    return BaselineReplay(hits=hits, stats=stats)
+
+
+def count_measured_misses(bundle: TraceBundle, hits: np.ndarray,
+                          warmup_fraction: float
+                          ) -> Tuple[int, Dict[int, int]]:
+    """Correct-path demand misses inside the measurement window.
+
+    Vectorized equivalent of the per-access accounting the trace walk
+    used to do: an access counts when it missed, is on the correct
+    path, and falls at or after the warmup boundary.  Returns the total
+    and the per-trap-level split.
+    """
+    counted = ~hits & ~bundle.access_wrong_path  # fresh array; safe to mask
+    boundary = int(len(hits) * warmup_fraction)
+    if boundary:
+        counted[:boundary] = False
+    misses = int(np.count_nonzero(counted))
+    levels, counts = np.unique(bundle.access_trap[counted],
+                               return_counts=True)
+    per_level = {int(level): int(count)
+                 for level, count in zip(levels, counts)}
+    return misses, per_level

@@ -27,7 +27,6 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
-from ..cache.icache import InstructionCache
 from ..common.addressing import RegionGeometry, block_bits_for
 from ..common.config import CacheConfig
 from ..core.history import HistoryBuffer
@@ -35,6 +34,7 @@ from ..core.spatial import SpatialCompactor, SpatialRegionRecord
 from ..core.temporal import TemporalCompactor
 from ..trace.bundle import TraceBundle
 from ..trace.records import StreamKind
+from .baseline import replay_baseline
 
 
 class StreamEvent(NamedTuple):
@@ -224,38 +224,38 @@ class ViewEvents:
 def build_view_events(bundle: TraceBundle,
                       cache_config: Optional[CacheConfig] = None
                       ) -> ViewEvents:
-    """Simulate the baseline cache once; derive all four views.
+    """Replay the baseline cache once; derive all four views.
 
     The baseline cache sees the *full* access stream, wrong path
     included, so wrong-path fills that later serve correct-path fetches
-    count as hits (the paper's footnote 1 accounting).
+    count as hits (the paper's footnote 1 accounting).  The replay runs
+    through the vectorized no-prefetch pass
+    (:func:`repro.sim.baseline.replay_baseline`) over the bundle's raw
+    columns; only the event objects themselves are materialized here.
     """
     config = cache_config if cache_config is not None else CacheConfig()
-    cache = InstructionCache(config)
     block_bits = block_bits_for(config.block_bytes)
+    hits = replay_baseline(bundle, config).hits
+    correct_path_misses = int(
+        ((~hits) & (~bundle.access_wrong_path)).sum())
 
     access_events: List[StreamEvent] = []
     retire_events: List[StreamEvent] = []
-    correct_path_misses = 0
-
-    for access in bundle.accesses:
-        outcome = cache.access(access.block)
-        is_miss = not outcome.hit
-        event = StreamEvent(access.block, is_miss, not access.wrong_path,
-                            access.trap_level)
+    for block, hit, wrong_path, trap_level in zip(
+            bundle.access_block.tolist(), hits.tolist(),
+            bundle.access_wrong_path.tolist(), bundle.access_trap.tolist()):
+        event = StreamEvent(block, not hit, not wrong_path, trap_level)
         access_events.append(event)
-        if not access.wrong_path:
-            if is_miss:
-                correct_path_misses += 1
+        if not wrong_path:
             retire_events.append(event)
 
-    if len(retire_events) != len(bundle.retires):
+    if len(retire_events) != len(bundle.retire_pc):
         raise RuntimeError(
             "access/retire alignment broken while building view events")
     # Rekey retire events by the retire-stream block (identical to the
     # access block by the alignment invariant; assert via sampling).
     for sample in range(0, len(retire_events), max(1, len(retire_events) // 64)):
-        expected = bundle.retires[sample].pc >> block_bits
+        expected = int(bundle.retire_pc[sample]) >> block_bits
         if retire_events[sample].key != expected:
             raise RuntimeError("retire stream does not align with accesses")
 
@@ -478,12 +478,13 @@ def measure_pif_predictability(
             oracles[key] = oracle
         return oracle
 
-    boundary = int(len(bundle.retires) * warmup_fraction)
-    for position, (retire, event) in enumerate(zip(bundle.retires,
-                                                   views.retire)):
-        oracle = oracle_for(retire.trap_level)
+    boundary = int(len(bundle.retire_pc) * warmup_fraction)
+    for position, (retire_pc, retire_trap, event) in enumerate(
+            zip(bundle.retire_pc.tolist(), bundle.retire_trap.tolist(),
+                views.retire)):
+        oracle = oracle_for(retire_trap)
         oracle.counting = position >= boundary
-        oracle.observe(retire.pc, retire.trap_level, event.is_miss)
+        oracle.observe(retire_pc, retire_trap, event.is_miss)
     merged = OracleResult()
     for oracle in oracles.values():
         oracle.finish()

@@ -11,10 +11,17 @@ single walk.  Each lane owns its test cache and prefetch engine; lanes
 never observe each other, and every lane sees exactly the request
 sequence a standalone :func:`run_prefetch_simulation` call would feed
 it, so the per-lane results are **bit-identical** to N sequential runs
-(the equivalence test in ``tests/sim/test_engine.py`` locks this).  The
-no-prefetch baseline depends only on the access stream and the cache
-configuration, so lanes sharing a configuration share one baseline
-cache instead of re-simulating it per engine.
+(the equivalence test in ``tests/sim/test_engine.py`` locks this).
+
+The no-prefetch baseline depends only on the access stream and the
+cache configuration, so it does not ride the lane walk at all: each
+distinct configuration is replayed once through the specialized
+:func:`repro.sim.baseline.replay_baseline` pass over the bundle's raw
+columns, with the warmup/per-level miss accounting vectorized by
+:func:`repro.sim.baseline.count_measured_misses`.  Lanes sharing a
+configuration share the one replay (and its ``CacheStats`` instance).
+The lane walk itself iterates the columnar arrays as plain Python
+scalars — no record objects are materialized.
 
 Counter windows: ``prefetches_issued`` counts every issue over the whole
 trace — the same (unwindowed) accounting as ``prefetcher.stats`` and the
@@ -30,6 +37,7 @@ from ..cache.icache import InstructionCache
 from ..common.config import CacheConfig
 from ..prefetch.base import Prefetcher
 from ..trace.bundle import TraceBundle
+from .baseline import count_measured_misses, replay_baseline
 from .tracesim import PrefetchSimResult
 
 
@@ -50,14 +58,17 @@ class _Lane:
 
 
 class _Baseline:
-    """The no-prefetch cache shared by every lane with one configuration."""
+    """The no-prefetch miss accounting shared by every lane with one
+    configuration, computed by the vectorized baseline replay."""
 
-    __slots__ = ("cache", "misses", "per_level")
+    __slots__ = ("stats", "misses", "per_level")
 
-    def __init__(self, config: CacheConfig) -> None:
-        self.cache = InstructionCache(config)
-        self.misses = 0
-        self.per_level: Dict[int, int] = {}
+    def __init__(self, bundle: TraceBundle, config: CacheConfig,
+                 warmup_fraction: float) -> None:
+        replay = replay_baseline(bundle, config)
+        self.stats = replay.stats
+        self.misses, self.per_level = count_measured_misses(
+            bundle, replay.hits, warmup_fraction)
 
 
 def run_multi_prefetch_simulation(
@@ -90,52 +101,51 @@ def run_multi_prefetch_simulation(
             lane_config = cache_configs[position]
         baseline = baselines.get(lane_config)
         if baseline is None:
-            baseline = _Baseline(lane_config)
+            baseline = _Baseline(bundle, lane_config, warmup_fraction)
             baselines[lane_config] = baseline
         lanes.append(_Lane(prefetcher, InstructionCache(lane_config),
                            baseline))
 
-    accesses = bundle.accesses
-    retires = bundle.retires
-    warmup_boundary = int(len(accesses) * warmup_fraction)
-    baseline_list = list(baselines.values())
+    blocks = bundle.access_block.tolist()
+    pcs = bundle.access_pc.tolist()
+    trap_levels = bundle.access_trap.tolist()
+    wrong_paths = bundle.access_wrong_path.tolist()
+    retire_pcs = bundle.retire_pc.tolist()
+    retire_traps = bundle.retire_trap.tolist()
+    warmup_boundary = int(len(blocks) * warmup_fraction)
 
     retire_cursor = 0
-    for position, access in enumerate(accesses):
-        measuring = position >= warmup_boundary
-        block = access.block
-        correct_path = not access.wrong_path
-        for baseline in baseline_list:
-            baseline_hit = baseline.cache.access(block).hit
-            if correct_path and measuring and not baseline_hit:
-                baseline.misses += 1
-                baseline.per_level[access.trap_level] = (
-                    baseline.per_level.get(access.trap_level, 0) + 1)
-        retire = None
-        if correct_path:
-            retire = retires[retire_cursor]
-            retire_cursor += 1
-        for lane in lanes:
-            test_result = lane.cache.access(block)
-            if correct_path and measuring and not test_result.hit:
-                lane.remaining_misses += 1
-                lane.per_level_remaining[access.trap_level] = (
-                    lane.per_level_remaining.get(access.trap_level, 0) + 1)
-            candidates = lane.prefetcher.on_demand_access(
-                block, access.pc, access.trap_level,
-                test_result.hit, test_result.was_prefetched)
-            for candidate in candidates:
-                lane.prefetches_issued += 1
-                lane.cache.prefetch(candidate)
-            if retire is not None:
-                lane.prefetcher.on_retire(retire.pc, retire.trap_level,
-                                          tagged=test_result.tagged)
+    if lanes:
+        for position, (block, pc, trap_level, wrong_path) in enumerate(
+                zip(blocks, pcs, trap_levels, wrong_paths)):
+            measuring = position >= warmup_boundary
+            correct_path = not wrong_path
+            retire_pc = retire_trap = None
+            if correct_path:
+                retire_pc = retire_pcs[retire_cursor]
+                retire_trap = retire_traps[retire_cursor]
+                retire_cursor += 1
+            for lane in lanes:
+                test_result = lane.cache.access(block)
+                if correct_path and measuring and not test_result.hit:
+                    lane.remaining_misses += 1
+                    lane.per_level_remaining[trap_level] = (
+                        lane.per_level_remaining.get(trap_level, 0) + 1)
+                candidates = lane.prefetcher.on_demand_access(
+                    block, pc, trap_level,
+                    test_result.hit, test_result.was_prefetched)
+                for candidate in candidates:
+                    lane.prefetches_issued += 1
+                    lane.cache.prefetch(candidate)
+                if retire_pc is not None:
+                    lane.prefetcher.on_retire(retire_pc, retire_trap,
+                                              tagged=test_result.tagged)
 
-    if retire_cursor != len(retires):
-        raise RuntimeError(
-            "access/retire alignment broken: consumed "
-            f"{retire_cursor} of {len(retires)} retire records"
-        )
+        if retire_cursor != len(retire_pcs):
+            raise RuntimeError(
+                "access/retire alignment broken: consumed "
+                f"{retire_cursor} of {len(retire_pcs)} retire records"
+            )
 
     return [
         PrefetchSimResult(
@@ -148,7 +158,7 @@ def run_multi_prefetch_simulation(
             per_level_remaining=lane.per_level_remaining,
             prefetches_issued=lane.prefetches_issued,
             cache_stats=lane.cache.stats,
-            baseline_stats=lane.baseline.cache.stats,
+            baseline_stats=lane.baseline.stats,
         )
         for lane in lanes
     ]

@@ -15,7 +15,9 @@ a thin wrapper over :func:`repro.sim.engine.run_multi_prefetch_simulation`,
 which replays one trace against N engines in a single walk.  Call the
 multi-engine form directly when comparing engines or sweeping settings
 over the same trace — it produces bit-identical results at a fraction
-of the cost.
+of the cost.  The no-prefetch baseline half of each result is computed
+by the vectorized columnar replay in :mod:`repro.sim.baseline`, not by
+a second cache walk.
 """
 
 from __future__ import annotations

@@ -8,7 +8,14 @@ from .records import (
     RetiredInstruction,
     StreamKind,
 )
-from .serialize import load_bundle, save_bundle
+from .serialize import (
+    TraceFormatError,
+    load_bundle,
+    load_bundle_extra,
+    save_bundle,
+    save_bundle_atomic,
+)
+from .store import TraceKey, TraceStore, generator_version_hash
 from .stats import (
     StreamStats,
     analyze_block_stream,
@@ -36,8 +43,14 @@ __all__ = [
     "FetchAccess",
     "RetiredInstruction",
     "StreamKind",
+    "TraceFormatError",
     "load_bundle",
+    "load_bundle_extra",
     "save_bundle",
+    "save_bundle_atomic",
+    "TraceKey",
+    "TraceStore",
+    "generator_version_hash",
     "StreamStats",
     "analyze_block_stream",
     "repetition_score",

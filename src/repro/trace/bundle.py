@@ -5,18 +5,37 @@ trace can be replayed against many prefetcher configurations — the
 paper's own methodology ("the processor behavior is undisturbed by the
 experiment", Section 2.1) — and (b) trace generation cost is paid once
 per workload.
+
+Storage is *columnar*: the two record streams live as parallel numpy
+arrays (one per field), a few bytes per record instead of Python-object
+overhead, ready to be saved/loaded as ``.npz`` archives
+(:mod:`repro.trace.serialize`) and replayed with vectorized passes
+(:mod:`repro.sim.baseline`, :mod:`repro.trace.stats`).  The classic
+object views — ``bundle.retires`` / ``bundle.accesses`` as lists of
+:class:`RetiredInstruction` / :class:`FetchAccess` — are materialized
+lazily on first use and cached, so consumers that walk records keep
+working unchanged.  The views are snapshots of the columns: mutating a
+materialized list does not write back into the arrays.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..common.addressing import DEFAULT_BLOCK_BYTES, block_of
-from .records import FetchAccess, RetiredInstruction, TL_APPLICATION
+import numpy as np
+
+from ..common.addressing import DEFAULT_BLOCK_BYTES, block_bits_for
+from .records import (
+    FetchAccess,
+    RetiredInstruction,
+    TL_APPLICATION,
+    access_columns,
+    accesses_from_columns,
+    retire_columns,
+    retires_from_columns,
+)
 
 
-@dataclass(slots=True)
 class TraceBundle:
     """The paired access/retire streams of one core plus provenance.
 
@@ -25,75 +44,155 @@ class TraceBundle:
         core: index of the simulated core (0-based).
         seed: root RNG seed the trace was generated from.
         block_bytes: cache-block size the access stream was produced at.
-        retires: correct-path retire-order records (block-run collapsed).
-        accesses: front-end access stream including wrong-path noise.
         instructions: number of *instructions* retired (pre-collapse),
             kept for UIPC computation.
+        retire_pc / retire_trap: retire-stream columns (block-run
+            collapsed), ``int64`` / ``uint8``.
+        access_block / access_pc / access_trap / access_wrong_path:
+            access-stream columns including wrong-path noise,
+            ``int64`` / ``int64`` / ``uint8`` / ``bool``.
     """
 
-    workload: str
-    core: int
-    seed: int
-    block_bytes: int = DEFAULT_BLOCK_BYTES
-    retires: List[RetiredInstruction] = field(default_factory=list)
-    accesses: List[FetchAccess] = field(default_factory=list)
-    instructions: int = 0
+    __slots__ = ("workload", "core", "seed", "block_bytes", "instructions",
+                 "retire_pc", "retire_trap",
+                 "access_block", "access_pc", "access_trap",
+                 "access_wrong_path", "_retires_view", "_accesses_view")
+
+    def __init__(self, workload: str, core: int, seed: int,
+                 block_bytes: int = DEFAULT_BLOCK_BYTES,
+                 retires: Sequence[RetiredInstruction] = (),
+                 accesses: Sequence[FetchAccess] = (),
+                 instructions: int = 0) -> None:
+        self.workload = workload
+        self.core = core
+        self.seed = seed
+        self.block_bytes = block_bytes
+        self.instructions = instructions
+        self.retire_pc, self.retire_trap = retire_columns(retires)
+        (self.access_block, self.access_pc, self.access_trap,
+         self.access_wrong_path) = access_columns(accesses)
+        self._retires_view: Optional[List[RetiredInstruction]] = None
+        self._accesses_view: Optional[List[FetchAccess]] = None
+
+    @classmethod
+    def from_columns(cls, workload: str, core: int, seed: int,
+                     block_bytes: int,
+                     retire_pc: np.ndarray, retire_trap: np.ndarray,
+                     access_block: np.ndarray, access_pc: np.ndarray,
+                     access_trap: np.ndarray, access_wrong_path: np.ndarray,
+                     instructions: int = 0) -> "TraceBundle":
+        """Build a bundle directly from its columns (no record objects)."""
+        bundle = cls(workload=workload, core=core, seed=seed,
+                     block_bytes=block_bytes, instructions=instructions)
+        bundle.retire_pc = np.asarray(retire_pc, dtype=np.int64)
+        bundle.retire_trap = np.asarray(retire_trap, dtype=np.uint8)
+        bundle.access_block = np.asarray(access_block, dtype=np.int64)
+        bundle.access_pc = np.asarray(access_pc, dtype=np.int64)
+        bundle.access_trap = np.asarray(access_trap, dtype=np.uint8)
+        bundle.access_wrong_path = np.asarray(access_wrong_path,
+                                              dtype=np.bool_)
+        return bundle
+
+    def __repr__(self) -> str:
+        return (f"TraceBundle(workload={self.workload!r}, core={self.core}, "
+                f"seed={self.seed}, block_bytes={self.block_bytes}, "
+                f"retires={len(self.retire_pc)}, "
+                f"accesses={len(self.access_block)}, "
+                f"instructions={self.instructions})")
+
+    # ------------------------------------------------------------------
+    # Lazy object views (compatibility surface for record-walking code).
+
+    @property
+    def retires(self) -> List[RetiredInstruction]:
+        """Correct-path retire-order records (block-run collapsed)."""
+        if self._retires_view is None:
+            self._retires_view = retires_from_columns(self.retire_pc,
+                                                      self.retire_trap)
+        return self._retires_view
+
+    @property
+    def accesses(self) -> List[FetchAccess]:
+        """Front-end access stream including wrong-path noise."""
+        if self._accesses_view is None:
+            self._accesses_view = accesses_from_columns(
+                self.access_block, self.access_pc, self.access_trap,
+                self.access_wrong_path)
+        return self._accesses_view
+
+    # ------------------------------------------------------------------
+    # Derived views (vectorized over the columns).
+
+    @property
+    def _block_bits(self) -> int:
+        return block_bits_for(self.block_bytes)
+
+    def retire_block_array(self) -> np.ndarray:
+        """Block addresses of the retire stream, in order (``int64``)."""
+        return self.retire_pc >> self._block_bits
 
     def retire_blocks(self) -> List[int]:
         """Block addresses of the retire stream, in order."""
-        return [block_of(r.pc, self.block_bytes) for r in self.retires]
+        return self.retire_block_array().tolist()
 
     def correct_path_accesses(self) -> List[FetchAccess]:
         """The access stream with wrong-path requests removed."""
-        return [a for a in self.accesses if not a.wrong_path]
+        keep = ~self.access_wrong_path
+        return accesses_from_columns(
+            self.access_block[keep], self.access_pc[keep],
+            self.access_trap[keep], self.access_wrong_path[keep])
 
     def application_retires(self) -> List[RetiredInstruction]:
         """Retire records at trap level 0 only."""
-        return [r for r in self.retires if r.trap_level == TL_APPLICATION]
+        keep = self.retire_trap == TL_APPLICATION
+        return retires_from_columns(self.retire_pc[keep],
+                                    self.retire_trap[keep])
 
     def wrong_path_fraction(self) -> float:
         """Fraction of front-end accesses that were wrong-path."""
-        if not self.accesses:
+        total = len(self.access_wrong_path)
+        if not total:
             return 0.0
-        wrong = sum(1 for a in self.accesses if a.wrong_path)
-        return wrong / len(self.accesses)
+        return int(np.count_nonzero(self.access_wrong_path)) / total
 
     def footprint_blocks(self) -> int:
         """Number of distinct correct-path instruction blocks touched."""
-        return len({block_of(r.pc, self.block_bytes) for r in self.retires})
+        return int(np.unique(self.retire_block_array()).size)
 
     def split_by_trap_level(self) -> Dict[int, List[RetiredInstruction]]:
         """Retire records grouped by trap level (the RetireSep view)."""
         groups: Dict[int, List[RetiredInstruction]] = {}
-        for record in self.retires:
-            groups.setdefault(record.trap_level, []).append(record)
+        for level in np.unique(self.retire_trap).tolist():
+            keep = self.retire_trap == level
+            groups[level] = retires_from_columns(self.retire_pc[keep],
+                                                 self.retire_trap[keep])
         return groups
 
     def validate(self) -> None:
         """Raise ValueError if the bundle violates basic invariants."""
-        if self.instructions < len(self.retires):
+        if self.instructions < len(self.retire_pc):
             raise ValueError(
                 "instruction count cannot be below the collapsed retire count: "
-                f"{self.instructions} < {len(self.retires)}"
+                f"{self.instructions} < {len(self.retire_pc)}"
             )
-        for record in self.retires:
-            if record.pc < 0:
-                raise ValueError(f"negative PC in retire stream: {record}")
-        previous_block = None
-        for record in self.retires:
-            block = block_of(record.pc, self.block_bytes)
-            if block == previous_block:
-                raise ValueError(
-                    "retire stream is not block-run collapsed at "
-                    f"pc={record.pc:#x}"
-                )
-            previous_block = block
-        for access in self.accesses:
-            if access.block != block_of(access.pc, self.block_bytes):
-                raise ValueError(
-                    f"access block/pc mismatch: {access!r} with "
-                    f"block_bytes={self.block_bytes}"
-                )
+        if len(self.retire_pc) and int(self.retire_pc.min()) < 0:
+            offender = int(self.retire_pc[self.retire_pc < 0][0])
+            raise ValueError(f"negative PC in retire stream: pc={offender}")
+        blocks = self.retire_block_array()
+        repeats = np.flatnonzero(blocks[1:] == blocks[:-1])
+        if repeats.size:
+            pc = int(self.retire_pc[repeats[0] + 1])
+            raise ValueError(
+                f"retire stream is not block-run collapsed at pc={pc:#x}")
+        mismatches = np.flatnonzero(
+            self.access_block != (self.access_pc >> self._block_bits))
+        if mismatches.size:
+            index = int(mismatches[0])
+            raise ValueError(
+                f"access block/pc mismatch: block={int(self.access_block[index])} "
+                f"pc={int(self.access_pc[index]):#x} with "
+                f"block_bytes={self.block_bytes}"
+            )
 
 
 def merge_statistics(bundles: Sequence[TraceBundle]) -> Dict[str, float]:
@@ -106,14 +205,14 @@ def merge_statistics(bundles: Sequence[TraceBundle]) -> Dict[str, float]:
     """
     if not bundles:
         raise ValueError("need at least one bundle")
-    footprint: set = set()
     instructions = 0
     wrong_path = 0.0
+    footprints = []
     for bundle in bundles:
         instructions += bundle.instructions
         wrong_path += bundle.wrong_path_fraction()
-        block_bytes = bundle.block_bytes
-        footprint.update(block_of(r.pc, block_bytes) for r in bundle.retires)
+        footprints.append(bundle.retire_block_array())
+    footprint = np.unique(np.concatenate(footprints)) if footprints else ()
     return {
         "instructions": float(instructions),
         "mean_wrong_path_fraction": wrong_path / len(bundles),

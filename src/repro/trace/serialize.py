@@ -3,25 +3,59 @@
 Traces are stored as ``.npz`` archives of parallel numpy arrays — a few
 bytes per record instead of Python-object overhead — so a workload's
 trace can be generated once and replayed across the whole experiment
-matrix.
+matrix.  Since :class:`~repro.trace.bundle.TraceBundle` itself is
+columnar, serialization is a direct dump of its arrays: no per-record
+conversion in either direction.
+
+Format (version 2): a JSON ``meta`` member (identity fields plus an
+optional caller-supplied ``extra`` dictionary, e.g. front-end stats for
+the trace store) and six arrays — ``retire_pc``/``retire_tl`` (int64 /
+uint8) and ``access_block``/``access_pc``/``access_tl``/``access_wp``
+(int64 / int64 / uint8 / bool).  Version 1 stored the same layout with
+unsigned addresses and no ``extra``; it is rejected rather than
+migrated.
+
+All load-side failures — truncated or corrupt archives, missing arrays,
+undecodable metadata, version mismatches — raise
+:class:`TraceFormatError` (a ``ValueError``), so callers like the trace
+store can treat any bad file as a cache miss instead of crashing.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from .bundle import TraceBundle
-from .records import FetchAccess, RetiredInstruction
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Array members every valid archive must contain.
+_ARRAY_KEYS = ("retire_pc", "retire_tl", "access_block", "access_pc",
+               "access_tl", "access_wp")
+
+#: Metadata fields every valid archive must carry.
+_META_KEYS = ("version", "workload", "core", "seed", "block_bytes",
+              "instructions")
 
 
-def save_bundle(bundle: TraceBundle, path: Union[str, Path]) -> Path:
-    """Serialize ``bundle`` to ``path`` (``.npz`` appended if missing)."""
+class TraceFormatError(ValueError):
+    """A trace archive is unreadable, incomplete, or version-mismatched."""
+
+
+def save_bundle(bundle: TraceBundle, path: Union[str, Path],
+                extra: Optional[Dict[str, Any]] = None) -> Path:
+    """Serialize ``bundle`` to ``path`` (``.npz`` appended if missing).
+
+    ``extra`` is an optional JSON-serializable dictionary stored in the
+    metadata member and returned verbatim by :func:`load_bundle_extra`
+    (the trace store uses it for front-end statistics).
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
@@ -32,62 +66,110 @@ def save_bundle(bundle: TraceBundle, path: Union[str, Path]) -> Path:
         "seed": bundle.seed,
         "block_bytes": bundle.block_bytes,
         "instructions": bundle.instructions,
+        "extra": extra if extra is not None else {},
     }
-    retire_pc = np.fromiter((r.pc for r in bundle.retires), dtype=np.uint64,
-                            count=len(bundle.retires))
-    retire_tl = np.fromiter((r.trap_level for r in bundle.retires), dtype=np.uint8,
-                            count=len(bundle.retires))
-    access_block = np.fromiter((a.block for a in bundle.accesses), dtype=np.uint64,
-                               count=len(bundle.accesses))
-    access_pc = np.fromiter((a.pc for a in bundle.accesses), dtype=np.uint64,
-                            count=len(bundle.accesses))
-    access_tl = np.fromiter((a.trap_level for a in bundle.accesses), dtype=np.uint8,
-                            count=len(bundle.accesses))
-    access_wp = np.fromiter((a.wrong_path for a in bundle.accesses), dtype=np.bool_,
-                            count=len(bundle.accesses))
     np.savez_compressed(
         path,
         meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
-        retire_pc=retire_pc,
-        retire_tl=retire_tl,
-        access_block=access_block,
-        access_pc=access_pc,
-        access_tl=access_tl,
-        access_wp=access_wp,
+        retire_pc=bundle.retire_pc,
+        retire_tl=bundle.retire_trap,
+        access_block=bundle.access_block,
+        access_pc=bundle.access_pc,
+        access_tl=bundle.access_trap,
+        access_wp=bundle.access_wrong_path,
     )
     return path
 
 
-def load_bundle(path: Union[str, Path]) -> TraceBundle:
-    """Deserialize a bundle previously written by :func:`save_bundle`."""
+#: Subdirectory (of the target's directory) atomic writes stage into.
+#: Kept out of the target directory itself so directory-level ``*.npz``
+#: scans (the trace store's) can never observe half-written archives.
+SCRATCH_DIR = ".tmp"
+
+
+def save_bundle_atomic(bundle: TraceBundle, path: Union[str, Path],
+                       extra: Optional[Dict[str, Any]] = None) -> Path:
+    """Like :func:`save_bundle` but crash/concurrency-safe: the archive
+    is staged under a ``.tmp/`` sibling directory and renamed into
+    place, so readers (and parallel writers racing on the same key)
+    never observe a partial file."""
     path = Path(path)
-    with np.load(path) as archive:
-        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-        if meta.get("version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace format version {meta.get('version')!r} "
-                f"in {path}"
-            )
-        retires = [
-            RetiredInstruction(int(pc), int(tl))
-            for pc, tl in zip(archive["retire_pc"], archive["retire_tl"])
-        ]
-        accesses = [
-            FetchAccess(int(block), int(pc), int(tl), bool(wp))
-            for block, pc, tl, wp in zip(
-                archive["access_block"],
-                archive["access_pc"],
-                archive["access_tl"],
-                archive["access_wp"],
-            )
-        ]
-    bundle = TraceBundle(
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    staging = path.parent / SCRATCH_DIR
+    staging.mkdir(parents=True, exist_ok=True)
+    scratch = staging / f"{path.name}.{os.getpid()}.npz"
+    try:
+        save_bundle(bundle, scratch, extra=extra)
+        os.replace(scratch, path)
+    finally:
+        scratch.unlink(missing_ok=True)
+    return path
+
+
+def load_bundle_extra(path: Union[str, Path]
+                      ) -> Tuple[TraceBundle, Dict[str, Any]]:
+    """Deserialize a bundle and its ``extra`` metadata dictionary.
+
+    Raises :class:`TraceFormatError` on any malformed or
+    version-mismatched archive.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            if "meta" not in archive.files:
+                raise TraceFormatError(f"no metadata member in {path}")
+            try:
+                meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise TraceFormatError(
+                    f"undecodable trace metadata in {path}: {error}"
+                ) from error
+            if meta.get("version") != _FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"unsupported trace format version {meta.get('version')!r} "
+                    f"in {path} (expected {_FORMAT_VERSION})"
+                )
+            missing = [key for key in _META_KEYS if key not in meta]
+            if missing:
+                raise TraceFormatError(
+                    f"trace metadata in {path} lacks fields: {missing}")
+            missing = [key for key in _ARRAY_KEYS if key not in archive.files]
+            if missing:
+                raise TraceFormatError(
+                    f"trace archive {path} lacks arrays: {missing}")
+            arrays = {key: archive[key] for key in _ARRAY_KEYS}
+    except TraceFormatError:
+        raise
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as error:
+        # np.load raises BadZipFile/ValueError on corrupt archives and
+        # EOFError/OSError on truncated members; fold them all into the
+        # one recoverable error type.  A missing file stays FileNotFound.
+        if isinstance(error, FileNotFoundError):
+            raise
+        raise TraceFormatError(
+            f"unreadable trace archive {path}: {error}") from error
+    if len(arrays["retire_pc"]) != len(arrays["retire_tl"]) or not (
+            len(arrays["access_block"]) == len(arrays["access_pc"])
+            == len(arrays["access_tl"]) == len(arrays["access_wp"])):
+        raise TraceFormatError(f"column lengths disagree in {path}")
+    bundle = TraceBundle.from_columns(
         workload=meta["workload"],
         core=meta["core"],
         seed=meta["seed"],
         block_bytes=meta["block_bytes"],
-        retires=retires,
-        accesses=accesses,
+        retire_pc=arrays["retire_pc"],
+        retire_trap=arrays["retire_tl"],
+        access_block=arrays["access_block"],
+        access_pc=arrays["access_pc"],
+        access_trap=arrays["access_tl"],
+        access_wrong_path=arrays["access_wp"],
         instructions=meta["instructions"],
     )
+    return bundle, meta.get("extra", {})
+
+
+def load_bundle(path: Union[str, Path]) -> TraceBundle:
+    """Deserialize a bundle previously written by :func:`save_bundle`."""
+    bundle, _ = load_bundle_extra(path)
     return bundle

@@ -5,13 +5,26 @@ when characterizing stream quality: footprint, repetition, run lengths,
 and discontinuity structure.  Experiments print them alongside results
 so a reader can check the synthetic workloads exhibit the properties the
 paper attributes to real server workloads.
+
+Every function accepts either a plain Python sequence or a numpy array
+(the columnar views of :class:`~repro.trace.bundle.TraceBundle` feed in
+directly) and computes with vectorized numpy passes — unique counts,
+diff-based transition analysis, argsort-grouped reuse distances —
+instead of per-element Python loops.  Outputs are plain Python types
+(``Counter`` of ``int``), identical to the scalar implementations they
+replaced.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+#: Input type every stream statistic accepts.
+BlockStream = Union[Sequence[int], np.ndarray]
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,25 +48,26 @@ class StreamStats:
         }
 
 
-def analyze_block_stream(blocks: Sequence[int]) -> StreamStats:
+def _as_array(blocks: BlockStream) -> np.ndarray:
+    return np.asarray(blocks, dtype=np.int64)
+
+
+def analyze_block_stream(blocks: BlockStream) -> StreamStats:
     """Compute :class:`StreamStats` for a block stream.
 
     A transition is *sequential* when the next block is the current
     block + 1 (the case next-line prefetchers capture); anything else is
     a discontinuity (the case that motivates temporal streaming).
     """
-    length = len(blocks)
+    array = _as_array(blocks)
+    length = int(array.size)
     if length == 0:
         return StreamStats(0, 0, 0.0, 0, 0.0)
-    unique = len(set(blocks))
-    sequential = 0
-    discontinuities = 0
-    for previous, current in zip(blocks, blocks[1:]):
-        if current == previous + 1:
-            sequential += 1
-        else:
-            discontinuities += 1
+    unique = int(np.unique(array).size)
+    steps = np.diff(array)
+    sequential = int(np.count_nonzero(steps == 1))
     transitions = length - 1
+    discontinuities = transitions - sequential
     sequential_fraction = sequential / transitions if transitions else 0.0
     return StreamStats(
         length=length,
@@ -64,7 +78,15 @@ def analyze_block_stream(blocks: Sequence[int]) -> StreamStats:
     )
 
 
-def reuse_distance_histogram(blocks: Sequence[int], max_bins: int = 32) -> Counter:
+def _log2_bins(distances: np.ndarray, max_bins: int) -> np.ndarray:
+    """``bit_length(d) - 1`` per positive distance, clamped to
+    ``max_bins`` (exact: frexp exponents, not float log2 rounding)."""
+    _, exponents = np.frexp(distances.astype(np.float64))
+    return np.minimum(exponents - 1, max_bins)
+
+
+def reuse_distance_histogram(blocks: BlockStream,
+                             max_bins: int = 32) -> Counter:
     """Histogram of log2 reuse distances (in stream positions).
 
     Bin ``b`` counts reuses whose distance ``d`` satisfies
@@ -72,21 +94,32 @@ def reuse_distance_histogram(blocks: Sequence[int], max_bins: int = 32) -> Count
     special bin ``-1`` counts first-ever uses.  This is the measurement
     underlying the paper's jump-distance analysis (Figure 7), applied to
     raw blocks rather than stream heads.
+
+    Vectorized: positions are grouped by block with a stable argsort,
+    reuse distances fall out of one diff over the grouped positions.
     """
-    last_seen: Dict[int, int] = {}
+    array = _as_array(blocks)
     histogram: Counter = Counter()
-    for position, block in enumerate(blocks):
-        if block in last_seen:
-            distance = position - last_seen[block]
-            bin_index = min(distance.bit_length() - 1, max_bins)
-            histogram[bin_index] += 1
-        else:
-            histogram[-1] += 1
-        last_seen[block] = position
+    if array.size == 0:
+        return histogram
+    _, inverse, first_counts = np.unique(array, return_inverse=True,
+                                         return_counts=True)
+    histogram[-1] = int(first_counts.size)
+    order = np.argsort(inverse, kind="stable")
+    grouped = inverse[order]
+    positions = np.arange(array.size)[order]
+    distances = np.diff(positions)
+    same_block = np.diff(grouped) == 0
+    reuse_distances = distances[same_block]
+    if reuse_distances.size:
+        bins, counts = np.unique(_log2_bins(reuse_distances, max_bins),
+                                 return_counts=True)
+        for bin_index, count in zip(bins.tolist(), counts.tolist()):
+            histogram[bin_index] = count
     return histogram
 
 
-def run_length_distribution(blocks: Sequence[int]) -> Counter:
+def run_length_distribution(blocks: BlockStream) -> Counter:
     """Distribution of sequential-run lengths in a block stream.
 
     A run is a maximal subsequence ``b, b+1, b+2, ...``.  Long runs are
@@ -94,58 +127,67 @@ def run_length_distribution(blocks: Sequence[int]) -> Counter:
     server-like streams is the paper's motivation for temporal
     streaming.
     """
+    array = _as_array(blocks)
     runs: Counter = Counter()
-    if not blocks:
+    if array.size == 0:
         return runs
-    current_run = 1
-    for previous, current in zip(blocks, blocks[1:]):
-        if current == previous + 1:
-            current_run += 1
-        else:
-            runs[current_run] += 1
-            current_run = 1
-    runs[current_run] += 1
+    breaks = np.flatnonzero(np.diff(array) != 1)
+    boundaries = np.concatenate(([-1], breaks, [array.size - 1]))
+    lengths, counts = np.unique(np.diff(boundaries), return_counts=True)
+    for length, count in zip(lengths.tolist(), counts.tolist()):
+        runs[length] = count
     return runs
 
 
-def stream_overlap(first: Sequence[int], second: Sequence[int]) -> float:
+def stream_overlap(first: BlockStream, second: BlockStream) -> float:
     """Jaccard similarity of the footprints of two block streams."""
-    set_first, set_second = set(first), set(second)
-    if not set_first and not set_second:
+    set_first = np.unique(_as_array(first))
+    set_second = np.unique(_as_array(second))
+    union = np.union1d(set_first, set_second)
+    if union.size == 0:
         return 1.0
-    return len(set_first & set_second) / len(set_first | set_second)
+    intersection = np.intersect1d(set_first, set_second,
+                                  assume_unique=True)
+    return intersection.size / union.size
 
 
-def repetition_score(blocks: Sequence[int], window: int = 4096) -> float:
+def repetition_score(blocks: BlockStream, window: int = 4096) -> float:
     """Fraction of windowed block n-grams (n=4) that recur in the stream.
 
     A cheap proxy for "how learnable is this stream by temporal
     correlation": near 1.0 for retire-order streams of loopy server
     code, visibly lower for miss streams of the same execution.
+
+    Vectorized: n-grams become rows of a sliding-window view, duplicate
+    rows are found with one ``np.unique`` over the raw row bytes (exact
+    matching, no hashing collisions), and a gram counts as a repeat when
+    an identical gram started at any earlier position.
     """
     n = 4
-    if len(blocks) < 2 * n:
+    array = _as_array(blocks)
+    if array.size < 2 * n:
         return 0.0
-    seen: Dict[tuple, int] = {}
-    repeats = 0
-    total = 0
-    limit = min(len(blocks) - n + 1, window * 16)
-    for position in range(limit):
-        gram = tuple(blocks[position:position + n])
-        total += 1
-        if gram in seen:
-            repeats += 1
-        seen[gram] = position
+    limit = min(array.size - n + 1, window * 16)
+    grams = np.lib.stride_tricks.sliding_window_view(
+        array[:limit + n - 1], n)
+    rows = np.ascontiguousarray(grams).view(
+        np.dtype((np.void, grams.dtype.itemsize * n))).ravel()
+    _, first_position = np.unique(rows, return_index=True)
+    total = int(rows.size)
+    repeats = total - int(first_position.size)
     return repeats / total if total else 0.0
 
 
-def per_level_lengths(levels: Sequence[int]) -> Dict[int, int]:
+def per_level_lengths(levels: BlockStream) -> Dict[int, int]:
     """Count of records per trap level in a stream of trap levels."""
-    counts: Counter = Counter(levels)
-    return dict(counts)
+    values, counts = np.unique(np.asarray(levels, dtype=np.int64),
+                               return_counts=True)
+    return {int(level): int(count)
+            for level, count in zip(values, counts)}
 
 
-def summarize_streams(named_streams: Dict[str, List[int]]) -> Dict[str, StreamStats]:
+def summarize_streams(named_streams: Dict[str, List[int]]
+                      ) -> Dict[str, StreamStats]:
     """Analyze several named streams at once (convenience for reports)."""
     return {name: analyze_block_stream(stream)
             for name, stream in named_streams.items()}

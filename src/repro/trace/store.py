@@ -1,0 +1,321 @@
+"""Content-addressed on-disk store for generated trace bundles.
+
+Trace generation is deterministic in (workload, instructions, seed,
+core) — but only for a fixed version of the generator code.  The store
+therefore keys every archive by those four parameters *plus a
+generator-version hash*: a SHA-256 digest over the source of every
+module that can influence the produced streams (workload synthesis, the
+front-end fetch model, branch predictors, addressing/RNG helpers, and
+the trace record/serialization format).  Touch any of those files and
+every existing entry silently stops matching — stale traces can never
+be replayed against new code.
+
+Layout: one ``.npz`` archive per key, named
+``{workload}__i{instructions}__s{seed}__c{core}__g{hash12}.npz``, in a
+single flat directory.  Writes go through the atomic renamer in
+:mod:`repro.trace.serialize`, so concurrent
+:class:`~repro.experiments.parallel.ExperimentPool` workers racing on
+one key at worst write the identical file twice.  Unreadable or
+truncated archives are treated as cache misses and deleted.
+
+The store root comes from the ``REPRO_TRACE_STORE`` environment
+variable: unset falls back to ``~/.cache/repro/traces`` (honouring
+``XDG_CACHE_HOME``), and the values ``0``/``off``/``none``/``disabled``
+turn persistence off entirely.  ``repro traces build|ls|gc`` manage the
+store from the command line; CI caches the directory keyed by the same
+generator hash.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple, Union
+
+from . import serialize
+from .bundle import TraceBundle
+from .serialize import TraceFormatError, load_bundle_extra, save_bundle_atomic
+
+#: Environment variable selecting (or disabling) the store root.
+STORE_ENV = "REPRO_TRACE_STORE"
+
+#: Reserved ``extra`` field under which :meth:`TraceStore.put` embeds
+#: the archive's full key (stripped again by :meth:`TraceStore.get`).
+_KEY_META = "store_key"
+
+#: ``REPRO_TRACE_STORE`` values that disable on-disk persistence.
+_DISABLE_VALUES = frozenset({"", "0", "off", "none", "disabled"})
+
+#: Source files whose content defines the generator version, relative to
+#: the ``repro`` package root.  Everything trace generation executes or
+#: that shapes the stored representation belongs here.
+_GENERATOR_SOURCE_GLOBS = (
+    "common/*.py",
+    "branch/*.py",
+    "workloads/*.py",
+    "pipeline/*.py",
+    "trace/records.py",
+    "trace/bundle.py",
+    "trace/serialize.py",
+)
+
+_generator_hash_cache: Optional[str] = None
+
+
+def _hash_sources(package_root: Path) -> str:
+    """SHA-256 over the generator source files under ``package_root``
+    (path and content both feed the digest, so renames invalidate too)."""
+    digest = hashlib.sha256()
+    for pattern in _GENERATOR_SOURCE_GLOBS:
+        for source in sorted(package_root.glob(pattern)):
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(b"\x00")
+            digest.update(source.read_bytes())
+            digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def generator_version_hash() -> str:
+    """Hex digest identifying the current trace-generator source.
+
+    Computed once per process over the ``repro`` package's generator
+    sources (:data:`_GENERATOR_SOURCE_GLOBS`).
+    """
+    global _generator_hash_cache
+    if _generator_hash_cache is None:
+        _generator_hash_cache = _hash_sources(
+            Path(__file__).resolve().parent.parent)
+    return _generator_hash_cache
+
+
+class TraceKey(NamedTuple):
+    """Identity of one generated trace (minus the generator version)."""
+
+    workload: str
+    instructions: int
+    seed: int
+    core: int
+
+
+@dataclass(frozen=True, slots=True)
+class StoreEntry:
+    """One archive in the store, as listed by :meth:`TraceStore.entries`."""
+
+    path: Path
+    key: Optional[TraceKey]
+    generator_hash: Optional[str]
+    size_bytes: int
+    mtime: float
+
+    @property
+    def current(self) -> bool:
+        """True when the entry matches the running generator version."""
+        return self.generator_hash == generator_version_hash()[:12]
+
+
+def ensure_scratch_store(prefix: str = "repro-traces-") -> Optional[Path]:
+    """Point the store at a throwaway directory unless one is configured.
+
+    For test/benchmark harnesses: when the caller has not exported
+    ``REPRO_TRACE_STORE`` (CI does, to cache traces across runs), the
+    variable is set to a fresh temporary directory that is removed at
+    interpreter exit, so ad-hoc runs never touch the user's real cache.
+    Returns the scratch root, or None when the environment already
+    decides.
+    """
+    if STORE_ENV in os.environ:
+        return None
+    scratch = tempfile.mkdtemp(prefix=prefix)
+    os.environ[STORE_ENV] = scratch
+    atexit.register(shutil.rmtree, scratch, True)
+    return Path(scratch)
+
+
+def store_root_from_env() -> Optional[Path]:
+    """Resolve the configured store root (None when disabled)."""
+    value = os.environ.get(STORE_ENV)
+    if value is not None:
+        if value.strip().lower() in _DISABLE_VALUES:
+            return None
+        return Path(value).expanduser()
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = Path(cache_home).expanduser() if cache_home else (
+        Path.home() / ".cache")
+    return base / "repro" / "traces"
+
+
+class TraceStore:
+    """A directory of content-addressed trace archives."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    @classmethod
+    def from_env(cls) -> Optional["TraceStore"]:
+        """The process-wide store, or None when persistence is disabled."""
+        root = store_root_from_env()
+        return cls(root) if root is not None else None
+
+    def path_for(self, key: TraceKey) -> Path:
+        """The archive path a key resolves to under the current
+        generator version."""
+        name = (f"{key.workload}__i{key.instructions}__s{key.seed}"
+                f"__c{key.core}__g{generator_version_hash()[:12]}.npz")
+        return self.root / name
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: TraceKey) -> Optional[Tuple[TraceBundle,
+                                                   Dict[str, Any]]]:
+        """Load ``key``'s bundle and extra metadata, or None on a miss.
+
+        Archives that fail to parse, or whose recorded identity (the
+        full :class:`TraceKey` :meth:`put` embedded, requested
+        instruction count included — the bundle's own ``instructions``
+        is the *retired* count and cannot stand in for it) disagrees
+        with the key, are deleted and reported as misses so a corrupted
+        or misplaced archive heals itself.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            bundle, extra = load_bundle_extra(path)
+        except FileNotFoundError:
+            return None
+        except TraceFormatError:
+            path.unlink(missing_ok=True)
+            return None
+        recorded = extra.pop(_KEY_META, None)
+        if recorded != dict(key._asdict()) or (
+                bundle.workload, bundle.seed, bundle.core) != (
+                key.workload, key.seed, key.core):
+            path.unlink(missing_ok=True)
+            return None
+        try:
+            os.utime(path)  # LRU signal for size-budget eviction.
+        except OSError:
+            pass
+        return bundle, extra
+
+    def put(self, key: TraceKey, bundle: TraceBundle,
+            extra: Optional[Dict[str, Any]] = None) -> Path:
+        """Persist ``bundle`` under ``key`` (atomic; last writer wins).
+
+        The full key is embedded in the archive metadata so :meth:`get`
+        can verify a file really is what its path claims.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        stamped = dict(extra) if extra is not None else {}
+        stamped[_KEY_META] = dict(key._asdict())
+        return save_bundle_atomic(bundle, self.path_for(key), extra=stamped)
+
+    # ------------------------------------------------------------------
+
+    def entries(self) -> List[StoreEntry]:
+        """Every archive currently in the store, newest first."""
+        found: List[StoreEntry] = []
+        if not self.root.is_dir():
+            return found
+        for path in self.root.glob("*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            key, generator_hash = _parse_entry_name(path.name)
+            found.append(StoreEntry(path=path, key=key,
+                                    generator_hash=generator_hash,
+                                    size_bytes=stat.st_size,
+                                    mtime=stat.st_mtime))
+        found.sort(key=lambda entry: entry.mtime, reverse=True)
+        return found
+
+    def total_bytes(self) -> int:
+        """Bytes the store currently occupies."""
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def gc(self, max_bytes: Optional[int] = None,
+           remove_all: bool = False) -> List[Path]:
+        """Evict archives; returns the paths removed.
+
+        Default policy removes entries that no longer match the running
+        generator version, plus atomic-write scratch files old enough
+        (one hour) that no live writer can still own them.  ``.npz``
+        files whose names the store did not produce are left untouched —
+        they are not the store's to delete, even under ``remove_all``.
+        ``max_bytes`` additionally evicts least-recently-used *current*
+        entries until the store fits the budget.  ``remove_all`` clears
+        every store-produced archive.
+        """
+        removed: List[Path] = []
+        survivors: List[StoreEntry] = []
+        for entry in self.entries():
+            if entry.key is None:
+                continue
+            if remove_all or not entry.current:
+                entry.path.unlink(missing_ok=True)
+                removed.append(entry.path)
+            else:
+                survivors.append(entry)
+        removed.extend(self._sweep_scratch())
+        if max_bytes is not None:
+            occupancy = sum(entry.size_bytes for entry in survivors)
+            for entry in reversed(survivors):  # oldest mtime first
+                if occupancy <= max_bytes:
+                    break
+                entry.path.unlink(missing_ok=True)
+                removed.append(entry.path)
+                occupancy -= entry.size_bytes
+        return removed
+
+    #: Scratch files younger than this are assumed to have live writers.
+    _SCRATCH_MAX_AGE_SECONDS = 3600.0
+
+    def _sweep_scratch(self) -> List[Path]:
+        """Delete abandoned atomic-write staging files (age-gated so a
+        concurrently running writer is never raced)."""
+        staging = self.root / serialize.SCRATCH_DIR
+        if not staging.is_dir():
+            return []
+        removed: List[Path] = []
+        cutoff = time.time() - self._SCRATCH_MAX_AGE_SECONDS
+        for scratch in staging.glob("*.npz"):
+            try:
+                if scratch.stat().st_mtime < cutoff:
+                    scratch.unlink(missing_ok=True)
+                    removed.append(scratch)
+            except OSError:
+                continue
+        return removed
+
+
+def _parse_entry_name(name: str
+                      ) -> Tuple[Optional[TraceKey], Optional[str]]:
+    """Recover (key, generator hash) from an archive filename.
+
+    Returns ``(None, None)`` for names the store did not produce;
+    :meth:`TraceStore.entries` lists such files for visibility, but
+    :meth:`TraceStore.gc` deliberately leaves them alone.
+    """
+    stem = name[:-len(".npz")] if name.endswith(".npz") else name
+    parts = stem.split("__")
+    if len(parts) != 5:
+        return None, None
+    workload, raw_instructions, raw_seed, raw_core, raw_hash = parts
+    if not (raw_instructions.startswith("i") and raw_seed.startswith("s")
+            and raw_core.startswith("c") and raw_hash.startswith("g")):
+        return None, None
+    try:
+        key = TraceKey(workload=workload,
+                       instructions=int(raw_instructions[1:]),
+                       seed=int(raw_seed[1:]),
+                       core=int(raw_core[1:]))
+    except ValueError:
+        return None, None
+    return key, raw_hash[1:]

@@ -18,10 +18,8 @@ This stream is the ground truth both downstream consumers build on:
 
 from __future__ import annotations
 
-import random
-from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Iterator, List, NamedTuple, Sequence, Tuple
 
-from ..common.addressing import INSTRUCTION_BYTES
 from ..common.rng import make_rng
 from ..trace.records import TL_APPLICATION, TL_INTERRUPT
 from .program import BasicBlock, BlockKind, SyntheticProgram

@@ -3,6 +3,12 @@
 Trace generation is the expensive part of the suite, so traces are
 generated once per session at a deliberately small scale; tests that
 need different parameters build their own.
+
+Hermeticity: unless the caller explicitly exported ``REPRO_TRACE_STORE``
+(CI does, to cache traces across runs), the on-disk trace store is
+redirected to a throwaway directory for the whole session, so test runs
+never write archives into — or read state from — the user's real
+``~/.cache/repro/traces``.
 """
 
 from __future__ import annotations
@@ -11,8 +17,11 @@ import pytest
 
 from repro.common.config import CacheConfig
 from repro.pipeline.tracegen import generate_trace
+from repro.trace.store import ensure_scratch_store
 from repro.workloads.generator import build_program
 from repro.workloads.spec import get_spec
+
+ensure_scratch_store(prefix="repro-test-traces-")
 
 #: Cache used across trace-level tests: small so misses are plentiful
 #: even in short traces.

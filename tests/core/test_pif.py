@@ -1,6 +1,5 @@
 """The assembled PIF engine on crafted streams."""
 
-import pytest
 
 from repro.common.config import PIFConfig
 from repro.core.pif import AccessOrderPIF, ProactiveInstructionFetch

@@ -1,0 +1,90 @@
+"""Store-backed experiments: bit-identical tables, generation skipped.
+
+The acceptance contract of the trace store: replaying archives off disk
+must change *nothing* about experiment output, and a warm store must
+actually short-circuit the generator.
+"""
+
+import pytest
+
+import repro.pipeline.tracegen as tracegen
+from repro.core.pif import ProactiveInstructionFetch
+from repro.common.config import CacheConfig, PIFConfig
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig3 import run_fig3
+from repro.sim.engine import run_multi_prefetch_simulation
+from repro.trace.store import STORE_ENV, TraceStore
+
+#: Deliberately small: two workloads, two cores, short traces.
+SMALL = ExperimentConfig(instructions=60_000, seed=9, cores=2,
+                         workloads=("oltp-db2", "dss-qry2"))
+
+
+@pytest.fixture()
+def clean_trace_cache():
+    """Isolate the in-process trace cache around each test."""
+    tracegen.cached_trace.cache_clear()
+    yield
+    tracegen.cached_trace.cache_clear()
+
+
+def _forbid_generation(monkeypatch):
+    def explode(*args, **kwargs):
+        raise AssertionError("trace generation ran despite a warm store")
+
+    monkeypatch.setattr(tracegen, "generate_trace", explode)
+
+
+class TestStoreEquivalence:
+    def test_store_loaded_tables_bit_identical_and_warm_run_skips_generation(
+            self, tmp_path, monkeypatch, clean_trace_cache):
+        # Reference: persistence disabled, everything freshly generated.
+        monkeypatch.setenv(STORE_ENV, "off")
+        reference = run_fig3(SMALL).to_table()
+
+        # Cold store run: generates once, persists archives.
+        store_dir = tmp_path / "traces"
+        monkeypatch.setenv(STORE_ENV, str(store_dir))
+        tracegen.cached_trace.cache_clear()
+        cold = run_fig3(SMALL).to_table()
+        assert cold == reference
+        archives = TraceStore(store_dir).entries()
+        assert len(archives) == len(SMALL.workloads) * SMALL.cores
+        assert all(entry.current for entry in archives)
+
+        # Warm store run: the generator must never execute.
+        tracegen.cached_trace.cache_clear()
+        _forbid_generation(monkeypatch)
+        warm = run_fig3(SMALL).to_table()
+        assert warm == reference
+
+    def test_store_loaded_simulation_bit_identical(
+            self, tmp_path, monkeypatch, clean_trace_cache):
+        """A full prefetch simulation over a store-loaded bundle equals
+        one over the freshly generated bundle, counter for counter."""
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "t"))
+        cache = CacheConfig(capacity_bytes=16 * 1024, associativity=2)
+
+        def run(bundle):
+            engine = ProactiveInstructionFetch(
+                PIFConfig(sab_window_regions=3))
+            return run_multi_prefetch_simulation(
+                bundle, [engine], cache_config=cache,
+                warmup_fraction=0.4)[0]
+
+        fresh = tracegen.cached_trace("web-apache", 60_000, 9)
+        baseline = run(fresh.bundle)
+
+        tracegen.cached_trace.cache_clear()
+        _forbid_generation(monkeypatch)
+        loaded = tracegen.cached_trace("web-apache", 60_000, 9)
+        assert loaded.frontend_stats == fresh.frontend_stats
+        replayed = run(loaded.bundle)
+
+        assert replayed.baseline_misses == baseline.baseline_misses
+        assert replayed.remaining_misses == baseline.remaining_misses
+        assert replayed.per_level_baseline == baseline.per_level_baseline
+        assert replayed.per_level_remaining == baseline.per_level_remaining
+        assert replayed.prefetches_issued == baseline.prefetches_issued
+        assert replayed.cache_stats == baseline.cache_stats
+        assert replayed.baseline_stats == baseline.baseline_stats

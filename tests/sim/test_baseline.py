@@ -1,0 +1,79 @@
+"""Vectorized baseline replay: bit-identical to the real cache model."""
+
+import numpy as np
+import pytest
+
+from repro.cache.icache import InstructionCache
+from repro.common.config import CacheConfig
+from repro.sim.baseline import count_measured_misses, replay_baseline
+
+CONFIGS = {
+    "lru": CacheConfig(capacity_bytes=16 * 1024, associativity=2,
+                       replacement="lru"),
+    "fifo": CacheConfig(capacity_bytes=16 * 1024, associativity=2,
+                        replacement="fifo"),
+    "random": CacheConfig(capacity_bytes=16 * 1024, associativity=2,
+                          replacement="random"),
+    "lru-4way": CacheConfig(capacity_bytes=16 * 1024, associativity=4,
+                            replacement="lru"),
+    "direct-mapped": CacheConfig(capacity_bytes=16 * 1024, associativity=1,
+                                 replacement="lru"),
+}
+
+
+def reference_replay(bundle, config):
+    """Ground truth: drive the generic cache model access by access."""
+    cache = InstructionCache(config)
+    hits = np.zeros(len(bundle.access_block), dtype=np.bool_)
+    for position, block in enumerate(bundle.access_block.tolist()):
+        hits[position] = cache.access(block).hit
+    return hits, cache.stats
+
+
+class TestReplayEquivalence:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_hit_flags_and_stats_match_cache_model(self, oltp_trace, name):
+        config = CONFIGS[name]
+        bundle = oltp_trace.bundle
+        expected_hits, expected_stats = reference_replay(bundle, config)
+        replay = replay_baseline(bundle, config)
+        assert np.array_equal(replay.hits, expected_hits)
+        assert replay.stats == expected_stats
+
+    def test_second_workload_lru(self, web_trace, test_cache_config):
+        bundle = web_trace.bundle
+        expected_hits, expected_stats = reference_replay(bundle,
+                                                         test_cache_config)
+        replay = replay_baseline(bundle, test_cache_config)
+        assert np.array_equal(replay.hits, expected_hits)
+        assert replay.stats == expected_stats
+
+
+class TestMeasuredMissCounting:
+    def test_matches_scalar_accounting(self, oltp_trace, test_cache_config):
+        """The vectorized window/path/level masks equal the per-access
+        branch accounting the trace walk used to do."""
+        bundle = oltp_trace.bundle
+        replay = replay_baseline(bundle, test_cache_config)
+        warmup_fraction = 0.4
+        boundary = int(len(bundle.access_block) * warmup_fraction)
+        expected_misses = 0
+        expected_levels = {}
+        for position, (hit, wrong_path, level) in enumerate(zip(
+                replay.hits.tolist(), bundle.access_wrong_path.tolist(),
+                bundle.access_trap.tolist())):
+            if position >= boundary and not wrong_path and not hit:
+                expected_misses += 1
+                expected_levels[level] = expected_levels.get(level, 0) + 1
+        misses, per_level = count_measured_misses(bundle, replay.hits,
+                                                  warmup_fraction)
+        assert misses == expected_misses
+        assert per_level == expected_levels
+
+    def test_zero_warmup_counts_everything(self, oltp_trace,
+                                           test_cache_config):
+        replay = replay_baseline(oltp_trace.bundle, test_cache_config)
+        misses, per_level = count_measured_misses(oltp_trace.bundle,
+                                                  replay.hits, 0.0)
+        assert misses == sum(per_level.values())
+        assert misses > 0

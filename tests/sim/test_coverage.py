@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common.config import CacheConfig
 from repro.sim.coverage import (
     PIFPredictorOracle,
     StreamEvent,

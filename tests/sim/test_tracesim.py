@@ -116,8 +116,11 @@ class TestAccounting:
                                     warmup_fraction=1.0)
 
     def test_alignment_check_fires_on_corrupt_bundle(self, test_cache_config):
-        bundle = looping_bundle(THRASH[:16], repeats=2)
-        bundle.retires.append(RetiredInstruction(0x999 * 64, 0))
+        source = looping_bundle(THRASH[:16], repeats=2)
+        bundle = TraceBundle(
+            workload=source.workload, core=0, seed=0,
+            retires=source.retires + [RetiredInstruction(0x999 * 64, 0)],
+            accesses=source.accesses, instructions=source.instructions)
         with pytest.raises(RuntimeError):
             run_prefetch_simulation(bundle, NullPrefetcher(),
                                     cache_config=test_cache_config)

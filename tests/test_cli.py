@@ -62,3 +62,42 @@ class TestCommands:
     def test_compare_rejects_bad_engine_list(self, capsys):
         code = main(["compare", "--engines", "pif,nonsense"])
         assert code == 2
+
+
+class TestTracesCommands:
+    def test_build_ls_gc_cycle(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(["traces", "build", "--store", store,
+                     "--workloads", "dss-qry2", "--instructions", "30000",
+                     "--seed", "3", "--cores", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("built") >= 2
+
+        code = main(["traces", "build", "--store", store,
+                     "--workloads", "dss-qry2", "--instructions", "30000",
+                     "--seed", "3", "--cores", "2"])
+        assert code == 0
+        assert "2 already cached" in capsys.readouterr().out
+
+        code = main(["traces", "ls", "--store", store])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dss-qry2" in out and "current" in out
+
+        code = main(["traces", "gc", "--store", store, "--all"])
+        assert code == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_build_rejects_unknown_workload(self, tmp_path, capsys):
+        code = main(["traces", "build", "--store", str(tmp_path),
+                     "--workloads", "spec2017"])
+        assert code == 2
+
+    def test_commands_error_when_store_disabled(self, monkeypatch, capsys):
+        from repro.trace.store import STORE_ENV
+
+        monkeypatch.setenv(STORE_ENV, "off")
+        assert main(["traces", "ls"]) == 2
+        assert main(["traces", "gc"]) == 2
+        assert main(["traces", "build"]) == 2

@@ -61,17 +61,40 @@ class TestValidation:
             bundle.validate()
 
     def test_uncollapsed_retires_rejected(self):
-        bundle = make_bundle()
-        bundle.retires.append(RetiredInstruction(72, 0))
-        bundle.retires.append(RetiredInstruction(76, 0))
+        source = make_bundle()
+        bundle = TraceBundle(
+            workload=source.workload, core=0, seed=1,
+            retires=source.retires + [RetiredInstruction(72, 0),
+                                      RetiredInstruction(76, 0)],
+            accesses=source.accesses, instructions=source.instructions)
+        with pytest.raises(ValueError):
+            bundle.validate()
+
+    def test_negative_pc_rejected(self):
+        bundle = TraceBundle(
+            workload="unit", core=0, seed=1,
+            retires=[RetiredInstruction(-64, 0)],
+            accesses=[], instructions=4)
         with pytest.raises(ValueError):
             bundle.validate()
 
     def test_access_block_pc_mismatch_rejected(self):
-        bundle = make_bundle()
-        bundle.accesses.append(FetchAccess(2, 64, 0, False))
+        source = make_bundle()
+        bundle = TraceBundle(
+            workload=source.workload, core=0, seed=1,
+            retires=source.retires,
+            accesses=source.accesses + [FetchAccess(2, 64, 0, False)],
+            instructions=source.instructions)
         with pytest.raises(ValueError):
             bundle.validate()
+
+    def test_views_are_snapshots(self):
+        """Mutating a materialized object view does not write back into
+        the columns (the columnar arrays are authoritative)."""
+        bundle = make_bundle()
+        bundle.retires.append(RetiredInstruction(72, 0))
+        assert len(bundle.retire_pc) == 4
+        bundle.validate()
 
 
 class TestMergeStatistics:

@@ -1,10 +1,21 @@
-"""On-disk trace format roundtrips."""
+"""On-disk trace format roundtrips and error paths."""
 
+import json
+
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.trace.bundle import TraceBundle
 from repro.trace.records import FetchAccess, RetiredInstruction
-from repro.trace.serialize import load_bundle, save_bundle
+from repro.trace.serialize import (
+    TraceFormatError,
+    load_bundle,
+    load_bundle_extra,
+    save_bundle,
+    save_bundle_atomic,
+)
 
 
 def small_bundle():
@@ -49,18 +60,137 @@ class TestRoundtrip:
         assert loaded.accesses == bundle.accesses
         loaded.validate()
 
-    def test_version_check(self, tmp_path):
-        import json
+    def test_extra_metadata_roundtrip(self, tmp_path):
+        extra = {"frontend_stats": {"conditional_branches": 7},
+                 "note": "unit"}
+        path = save_bundle(small_bundle(), tmp_path / "x", extra=extra)
+        _, loaded_extra = load_bundle_extra(path)
+        assert loaded_extra == extra
 
-        import numpy as np
+    def test_atomic_save_equivalent(self, tmp_path):
+        plain = load_bundle(save_bundle(small_bundle(), tmp_path / "p"))
+        atomic = load_bundle(save_bundle_atomic(small_bundle(),
+                                                tmp_path / "a"))
+        assert plain.retires == atomic.retires
+        assert plain.accesses == atomic.accesses
+        # Staging leaves no scratch behind, and nothing it ever writes
+        # can be mistaken for an archive by a directory-level scan.
+        assert not list((tmp_path / ".tmp").glob("*"))
+        assert sorted(p.name for p in tmp_path.glob("*.npz")) == \
+            ["a.npz", "p.npz"]
 
+
+def _rewrite_meta(path, mutate):
+    """Load an archive, apply ``mutate`` to its metadata, re-save."""
+    with np.load(path) as archive:
+        payload = {name: archive[name] for name in archive.files}
+    meta = json.loads(bytes(payload["meta"]).decode())
+    mutate(meta)
+    payload["meta"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+
+
+class TestErrorPaths:
+    def test_version_mismatch_rejected(self, tmp_path):
         path = save_bundle(small_bundle(), tmp_path / "v")
+        _rewrite_meta(path, lambda meta: meta.update(version=999))
+        with pytest.raises(TraceFormatError):
+            load_bundle(path)
+
+    def test_missing_meta_field_rejected(self, tmp_path):
+        path = save_bundle(small_bundle(), tmp_path / "m")
+        _rewrite_meta(path, lambda meta: meta.pop("workload"))
+        with pytest.raises(TraceFormatError):
+            load_bundle(path)
+
+    def test_missing_array_rejected(self, tmp_path):
+        path = save_bundle(small_bundle(), tmp_path / "a")
         with np.load(path) as archive:
             payload = {name: archive[name] for name in archive.files}
-        meta = json.loads(bytes(payload["meta"]).decode())
-        meta["version"] = 999
-        payload["meta"] = np.frombuffer(
-            json.dumps(meta).encode(), dtype=np.uint8)
+        del payload["access_block"]
         np.savez_compressed(path, **payload)
-        with pytest.raises(ValueError):
+        with pytest.raises(TraceFormatError):
             load_bundle(path)
+
+    def test_column_length_disagreement_rejected(self, tmp_path):
+        path = save_bundle(small_bundle(), tmp_path / "l")
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        payload["retire_tl"] = payload["retire_tl"][:-1]
+        np.savez_compressed(path, **payload)
+        with pytest.raises(TraceFormatError):
+            load_bundle(path)
+
+    def test_truncated_archive_rejected(self, tmp_path):
+        path = save_bundle(small_bundle(), tmp_path / "t")
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(TraceFormatError):
+            load_bundle(path)
+
+    def test_corrupt_bytes_rejected(self, tmp_path):
+        path = tmp_path / "c.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(TraceFormatError):
+            load_bundle(path)
+
+    def test_undecodable_meta_rejected(self, tmp_path):
+        path = save_bundle(small_bundle(), tmp_path / "j")
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        payload["meta"] = np.frombuffer(b"{not json", dtype=np.uint8)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(TraceFormatError):
+            load_bundle(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_bundle(tmp_path / "absent.npz")
+
+    def test_format_error_is_value_error(self):
+        assert issubclass(TraceFormatError, ValueError)
+
+
+_pcs = st.integers(min_value=0, max_value=2 ** 48 - 1)
+_levels = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def bundles(draw):
+    """Arbitrary (not necessarily invariant-satisfying) bundles."""
+    retires = draw(st.lists(
+        st.builds(RetiredInstruction, pc=_pcs, trap_level=_levels),
+        max_size=30))
+    accesses = draw(st.lists(
+        st.builds(FetchAccess, block=_pcs, pc=_pcs, trap_level=_levels,
+                  wrong_path=st.booleans()),
+        max_size=30))
+    return TraceBundle(
+        workload=draw(st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1, max_size=12)),
+        core=draw(st.integers(min_value=0, max_value=15)),
+        seed=draw(st.integers(min_value=0, max_value=2 ** 31)),
+        retires=retires,
+        accesses=accesses,
+        instructions=draw(st.integers(min_value=0, max_value=2 ** 40)),
+    )
+
+
+class TestRoundtripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(bundle=bundles())
+    def test_any_bundle_roundtrips(self, bundle, tmp_path_factory):
+        path = tmp_path_factory.mktemp("prop") / "bundle"
+        loaded = load_bundle(save_bundle(bundle, path))
+        assert loaded.workload == bundle.workload
+        assert loaded.core == bundle.core
+        assert loaded.seed == bundle.seed
+        assert loaded.block_bytes == bundle.block_bytes
+        assert loaded.instructions == bundle.instructions
+        assert loaded.retires == bundle.retires
+        assert loaded.accesses == bundle.accesses
+        assert np.array_equal(loaded.retire_pc, bundle.retire_pc)
+        assert np.array_equal(loaded.access_wrong_path,
+                              bundle.access_wrong_path)
