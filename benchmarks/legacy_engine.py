@@ -1,0 +1,323 @@
+"""The pre-kernel (PR 2) lane-walk machinery, frozen for benchmarking.
+
+``BENCH_3.json``'s headline claim is "the flat-array kernel is ≥3x
+faster than the engine it replaced".  The replaced engine cannot be
+timed from git history inside a test run, so this module preserves its
+per-access machinery verbatim:
+
+* the object-model cache walk (``ReferenceInstructionCache``: per-set
+  dicts, ``_Line`` dataclasses, one replacement-policy object per set,
+  an ``AccessResult`` allocation per access);
+* the list-returning ``on_demand_access`` protocol with a fresh
+  candidate list per access and lane;
+* the ``LRUCache``-keyed SAB file and TIFS stream queues, with
+  ``list(items_mru_first())`` materialized per fetch;
+* per-read ``HistoryBuffer`` runs and per-use ``SpatialRegionRecord``
+  block decoding (no memoization).
+
+The benchmark asserts the legacy lanes produce **bit-identical**
+results to the fast kernel before trusting the timing, so this module
+doubles as one more differential oracle.  It is benchmark scaffolding:
+nothing under ``src/`` may import it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.reference import ReferenceInstructionCache
+from repro.common.config import CacheConfig
+from repro.common.lru import LRUCache
+from repro.core.history import HistoryBuffer
+from repro.core.pif import ProactiveInstructionFetch
+from repro.core.spatial import SpatialRegionRecord
+from repro.prefetch.base import Prefetcher, as_block_list
+from repro.prefetch.tifs import TIFSPrefetcher, _MissStream
+from repro.sim.baseline import count_measured_misses, replay_baseline
+from repro.sim.tracesim import PrefetchSimResult
+from repro.trace.bundle import TraceBundle
+
+
+class LegacyHistoryBuffer(HistoryBuffer):
+    """History buffer with the original per-record ``read_run`` loop."""
+
+    def read_run(self, position: int, count: int):
+        result = []
+        for offset in range(count):
+            record = self.read(position + offset)
+            if record is None:
+                break
+            result.append((position + offset, record))
+        return result
+
+    def read_run_values(self, position: int, count: int):
+        return [record for _, record in self.read_run(position, count)]
+
+
+class LegacyStreamAddressBuffer:
+    """PR 2's SAB: dict block map rebuilt from undecoded records."""
+
+    def __init__(self, geometry, window_regions: int,
+                 block_bytes: int = 64) -> None:
+        self.geometry = geometry
+        self.window_regions = window_regions
+        self.block_bytes = block_bytes
+        self.pointer = 0
+        self.window: List[Tuple[int, SpatialRegionRecord]] = []
+        self._block_map: Dict[int, int] = {}
+        self.matches = 0
+        self.regions_replayed = 0
+
+    def allocate(self, history, start_position: int) -> List[int]:
+        self.pointer = start_position
+        self.window = []
+        self._block_map = {}
+        return self._refill(history)
+
+    def advance(self, history, block: int) -> Optional[List[int]]:
+        slot = self._block_map.get(block)
+        if slot is None:
+            return None
+        self.matches += 1
+        if slot == 0:
+            return []
+        self.window = self.window[slot:]
+        self._rebuild_block_map()
+        return self._refill(history)
+
+    def _refill(self, history) -> List[int]:
+        new_blocks: List[int] = []
+        needed = self.window_regions - len(self.window)
+        if needed <= 0:
+            return new_blocks
+        run = history.read_run(self.pointer, needed)
+        for position, record in run:
+            slot = len(self.window)
+            self.window.append((position, record))
+            self.regions_replayed += 1
+            for block in record.blocks(self.geometry, self.block_bytes):
+                self._block_map.setdefault(block, slot)
+                new_blocks.append(block)
+        if run:
+            self.pointer = run[-1][0] + 1
+        return new_blocks
+
+    def _rebuild_block_map(self) -> None:
+        self._block_map = {}
+        for slot, (_, record) in enumerate(self.window):
+            for block in record.blocks(self.geometry, self.block_bytes):
+                self._block_map.setdefault(block, slot)
+
+
+class LegacySABFile:
+    """PR 2's SAB file: an ``LRUCache`` scanned MRU-first per fetch."""
+
+    def __init__(self, geometry, count: int = 4, window_regions: int = 7,
+                 block_bytes: int = 64) -> None:
+        self.geometry = geometry
+        self.count = count
+        self.window_regions = window_regions
+        self.block_bytes = block_bytes
+        self._sabs: LRUCache[int, LegacyStreamAddressBuffer] = LRUCache(count)
+        self._next_id = 0
+        self.allocations = 0
+
+    def advance(self, history, block: int) -> Optional[List[int]]:
+        for sab_id, sab in list(self._sabs.items_mru_first()):
+            result = sab.advance(history, block)
+            if result is not None:
+                self._sabs.promote(sab_id)
+                return result
+        return None
+
+    def allocate(self, history, start_position: int) -> List[int]:
+        self.allocations += 1
+        sab = LegacyStreamAddressBuffer(self.geometry, self.window_regions,
+                                        self.block_bytes)
+        blocks = sab.allocate(history, start_position)
+        self._next_id += 1
+        self._sabs.put(self._next_id, sab)
+        return blocks
+
+
+class LegacyPIF(ProactiveInstructionFetch):
+    """PIF on the legacy SAB file, history buffer and list protocol."""
+
+    def _channel(self, trap_level: int):
+        key = trap_level if self.separate_trap_levels else 0
+        created = key not in self._channels
+        channel = super()._channel(trap_level)
+        if created:
+            channel.history = LegacyHistoryBuffer(channel.history.capacity)
+            channel.sabs = LegacySABFile(
+                self.config.geometry, self.config.sab_count,
+                self.config.sab_window_regions, self.block_bytes)
+        return channel
+
+    def on_demand_access(self, block: int, pc: int, trap_level: int,
+                         hit: bool, was_prefetched: bool) -> List[int]:
+        channel = self._channel(trap_level)
+        candidates: List[int] = []
+        advanced = channel.sabs.advance(channel.history, block)
+        if advanced is not None:
+            channel.stats.window_advances += 1
+            candidates.extend(advanced)
+        if not hit and not was_prefetched:
+            self.stats.triggers += 1
+            position = channel.index.lookup(pc)
+            if position is not None:
+                burst = channel.sabs.allocate(channel.history, position)
+                channel.stats.stream_allocations += 1
+                self.stats.stream_allocations += 1
+                candidates.extend(burst)
+        blocks = as_block_list(candidates)
+        self.stats.issued += len(blocks)
+        return blocks
+
+    def on_demand_access_into(self, block, pc, trap_level, hit,
+                              was_prefetched, out) -> int:
+        candidates = self.on_demand_access(block, pc, trap_level, hit,
+                                           was_prefetched)
+        out.extend(candidates)
+        return len(candidates)
+
+
+class LegacyTIFS(TIFSPrefetcher):
+    """TIFS on the legacy stream queues and history buffer."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.history = LegacyHistoryBuffer(self.history.capacity)
+        self._queues: LRUCache[int, _MissStream] = LRUCache(
+            self._stream_capacity)
+        self._stream_counter = 0
+
+    def on_demand_access(self, block: int, pc: int, trap_level: int,
+                         hit: bool, was_prefetched: bool) -> List[int]:
+        prefetches: List[int] = []
+        matched = self._advance_streams(block, prefetches)
+        would_be_miss = (not hit) or (hit and was_prefetched)
+        if would_be_miss:
+            position = self.history.append(block)
+            previous = self.index.lookup(block)
+            self.index.insert(block, position)
+            if not hit and not matched and previous is not None:
+                self._allocate_legacy(previous + 1, prefetches)
+        if prefetches:
+            self.stats.issued += len(prefetches)
+        return prefetches
+
+    def on_demand_access_into(self, block, pc, trap_level, hit,
+                              was_prefetched, out) -> int:
+        candidates = self.on_demand_access(block, pc, trap_level, hit,
+                                           was_prefetched)
+        out.extend(candidates)
+        return len(candidates)
+
+    def _advance_streams(self, block: int, prefetches: List[int]) -> bool:
+        for stream_id, stream in list(self._queues.items_mru_first()):
+            if block not in stream.window:
+                continue
+            match_offset = stream.window.index(block)
+            stream.pointer += match_offset + 1
+            self._refill_legacy(stream, prefetches)
+            self._queues.promote(stream_id)
+            return True
+        return False
+
+    def _allocate_legacy(self, pointer: int, prefetches: List[int]) -> None:
+        self.stats.triggers += 1
+        self.stats.stream_allocations += 1
+        self._stream_counter += 1
+        stream = _MissStream(pointer, [])
+        self._refill_legacy(stream, prefetches)
+        if stream.window:
+            self._queues.put(self._stream_counter, stream)
+
+    def _refill_legacy(self, stream: _MissStream,
+                       prefetches: List[int]) -> None:
+        run = self.history.read_run(stream.pointer, self.window_blocks)
+        new_window = [record for _, record in run]
+        for address in new_window:
+            if address not in stream.window:
+                prefetches.append(address)
+        stream.window = new_window
+
+
+def run_legacy_multi_prefetch_simulation(
+    bundle: TraceBundle,
+    prefetchers: Sequence[Prefetcher],
+    cache_config: Optional[CacheConfig] = None,
+    warmup_fraction: float = 0.25,
+) -> List[PrefetchSimResult]:
+    """PR 2's ``run_multi_prefetch_simulation``, walk loop verbatim."""
+
+    class _Lane:
+        __slots__ = ("prefetcher", "cache", "remaining_misses",
+                     "per_level_remaining", "prefetches_issued")
+
+        def __init__(self, prefetcher, cache):
+            self.prefetcher = prefetcher
+            self.cache = cache
+            self.remaining_misses = 0
+            self.per_level_remaining: Dict[int, int] = {}
+            self.prefetches_issued = 0
+
+    config = cache_config if cache_config is not None else CacheConfig()
+    replay = replay_baseline(bundle, config)
+    baseline_misses, per_level_baseline = count_measured_misses(
+        bundle, replay.hits, warmup_fraction)
+    lanes = [_Lane(prefetcher, ReferenceInstructionCache(config))
+             for prefetcher in prefetchers]
+
+    blocks = bundle.access_block.tolist()
+    pcs = bundle.access_pc.tolist()
+    trap_levels = bundle.access_trap.tolist()
+    wrong_paths = bundle.access_wrong_path.tolist()
+    retire_pcs = bundle.retire_pc.tolist()
+    retire_traps = bundle.retire_trap.tolist()
+    warmup_boundary = int(len(blocks) * warmup_fraction)
+
+    retire_cursor = 0
+    for position, (block, pc, trap_level, wrong_path) in enumerate(
+            zip(blocks, pcs, trap_levels, wrong_paths)):
+        measuring = position >= warmup_boundary
+        correct_path = not wrong_path
+        retire_pc = retire_trap = None
+        if correct_path:
+            retire_pc = retire_pcs[retire_cursor]
+            retire_trap = retire_traps[retire_cursor]
+            retire_cursor += 1
+        for lane in lanes:
+            test_result = lane.cache.access(block)
+            if correct_path and measuring and not test_result.hit:
+                lane.remaining_misses += 1
+                lane.per_level_remaining[trap_level] = (
+                    lane.per_level_remaining.get(trap_level, 0) + 1)
+            candidates = lane.prefetcher.on_demand_access(
+                block, pc, trap_level,
+                test_result.hit, test_result.was_prefetched)
+            for candidate in candidates:
+                lane.prefetches_issued += 1
+                lane.cache.prefetch(candidate)
+            if retire_pc is not None:
+                lane.prefetcher.on_retire(retire_pc, retire_trap,
+                                          tagged=test_result.tagged)
+    if retire_cursor != len(retire_pcs):
+        raise RuntimeError("legacy walk: access/retire alignment broken")
+
+    return [
+        PrefetchSimResult(
+            workload=bundle.workload,
+            prefetcher=lane.prefetcher.name,
+            instructions=bundle.instructions,
+            baseline_misses=baseline_misses,
+            remaining_misses=lane.remaining_misses,
+            per_level_baseline=dict(per_level_baseline),
+            per_level_remaining=lane.per_level_remaining,
+            prefetches_issued=lane.prefetches_issued,
+            cache_stats=lane.cache.stats,
+            baseline_stats=replay.stats,
+        )
+        for lane in lanes
+    ]

@@ -1,8 +1,9 @@
 """Instruction-cache substrate: set-associative model, MSHRs, line buffer."""
 
-from .icache import AccessResult, InstructionCache
+from .icache import AccessResult, HIT, HIT_PREFETCHED, InstructionCache, MISS
 from .line_buffer import LineBuffer
 from .mshr import MSHRFile, OutstandingFill
+from .reference import ReferenceInstructionCache
 from .replacement import (
     FIFOPolicy,
     LRUPolicy,
@@ -15,6 +16,10 @@ from .stats import CacheStats, CoverageAccounting
 __all__ = [
     "AccessResult",
     "InstructionCache",
+    "ReferenceInstructionCache",
+    "MISS",
+    "HIT",
+    "HIT_PREFETCHED",
     "LineBuffer",
     "MSHRFile",
     "OutstandingFill",

@@ -12,11 +12,11 @@ from .addressing import (
 )
 from .bitvec import BitVector, empty, full
 from .config import (
-    PAPER_PIF,
-    PAPER_SYSTEM,
     BranchPredictorConfig,
     CacheConfig,
     MemoryConfig,
+    PAPER_PIF,
+    PAPER_SYSTEM,
     PIFConfig,
     PipelineConfig,
     SystemConfig,

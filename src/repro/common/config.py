@@ -9,7 +9,7 @@ bimodal branch predictor, a 96-entry ROB and 3-wide retirement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict
 
 from .addressing import DEFAULT_BLOCK_BYTES, RegionGeometry, block_bits_for

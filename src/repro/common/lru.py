@@ -21,6 +21,10 @@ from typing import Generic, Hashable, Iterator, Optional, Tuple, TypeVar
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
+#: Internal miss sentinel so ``get`` costs one dict probe even for
+#: caches that legitimately store ``None`` values (:class:`LRUSet`).
+_MISSING = object()
+
 
 class LRUCache(Generic[K, V]):
     """A bounded mapping that evicts the least-recently-used entry.
@@ -49,10 +53,12 @@ class LRUCache(Generic[K, V]):
 
     def get(self, key: K) -> Optional[V]:
         """Return the value for ``key`` and promote it to MRU, or None."""
-        if key not in self._entries:
+        entries = self._entries
+        value = entries.get(key, _MISSING)
+        if value is _MISSING:
             return None
-        self._entries.move_to_end(key)
-        return self._entries[key]
+        entries.move_to_end(key)
+        return value  # type: ignore[return-value]
 
     def peek(self, key: K) -> Optional[V]:
         """Return the value for ``key`` without touching recency state."""
@@ -62,14 +68,15 @@ class LRUCache(Generic[K, V]):
         """Insert/update ``key`` at MRU; return the evicted pair, if any."""
         if self._capacity == 0:
             return (key, value)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self._entries[key] = value
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            entries[key] = value
             return None
         evicted: Optional[Tuple[K, V]] = None
-        if len(self._entries) >= self._capacity:
-            evicted = self._entries.popitem(last=False)
-        self._entries[key] = value
+        if len(entries) >= self._capacity:
+            evicted = entries.popitem(last=False)
+        entries[key] = value
         return evicted
 
     def promote(self, key: K) -> bool:

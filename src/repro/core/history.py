@@ -73,13 +73,37 @@ class HistoryBuffer(Generic[R]):
         Returns (position, record) pairs; stops early at the tail or at
         an overwritten region.
         """
-        result: List[Tuple[int, R]] = []
-        for offset in range(count):
-            record = self.read(position + offset)
-            if record is None:
-                break
-            result.append((position + offset, record))
-        return result
+        values = self.read_run_values(position, count)
+        return list(zip(range(position, position + len(values)), values))
+
+    def read_run_values(self, position: int, count: int) -> List[R]:
+        """Like :meth:`read_run` but records only, no position pairs —
+        for consumers (the TIFS window refill) that re-read from a fixed
+        pointer and do not need the positions materialized.
+
+        Everything in ``[oldest_live, tail)`` is live by construction,
+        so the run is carved out with ring slices rather than per-record
+        :meth:`read` calls — this sits on the stream-replay hot path of
+        every history consumer.
+        """
+        next_position = self._next_position
+        if count <= 0 or position < 0 or position >= next_position:
+            return []
+        end = position + count
+        if end > next_position:
+            end = next_position
+        capacity = self.capacity
+        if capacity is None:
+            return self._ring[position:end]
+        if position < next_position - capacity:
+            # The start has been overwritten: nothing is readable.
+            return []
+        start_slot = position % capacity
+        length = end - position
+        if start_slot + length <= capacity:
+            return self._ring[start_slot:start_slot + length]
+        return (self._ring[start_slot:]
+                + self._ring[:start_slot + length - capacity])
 
     def __len__(self) -> int:
         if self.capacity is None:

@@ -4,8 +4,16 @@ An SAB is one active replay of a recorded stream: it holds a window of
 consecutive spatial-region records read from the history buffer, watches
 the core's L1-I fetches, and advances its history pointer whenever a
 fetch lands inside the window — issuing prefetches for the records that
-slide into view.  A small LRU-managed file of SABs supports several
-concurrent streams (the paper uses four, each tracking seven regions).
+slide into view.  A small file of SABs, most-recently-matched first,
+supports several concurrent streams (the paper uses four, each tracking
+seven regions).
+
+The file is probed on *every* front-end fetch of every lane, so the
+probe path follows the simulator's buffer-reuse protocol: the ``_into``
+variants append candidate blocks to a caller-owned list and return a
+count (−1 for "no stream matched"), allocating nothing on the
+steady-state no-match path.  The list-returning methods remain as thin
+wrappers for tests and external callers.
 """
 
 from __future__ import annotations
@@ -13,21 +21,36 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..common.addressing import RegionGeometry
-from ..common.lru import LRUCache
 from .history import HistoryBuffer
 from .spatial import SpatialRegionRecord
 
 
+#: Entries kept in a shared record->blocks memo before it is dropped
+#: wholesale (records recycle as the history wraps, so the memo cannot
+#: grow without bound).
+_BLOCK_CACHE_LIMIT = 1 << 16
+
+
 class StreamAddressBuffer:
-    """One active prediction stream."""
+    """One active prediction stream.
+
+    ``block_cache`` memoizes :meth:`SpatialRegionRecord.blocks` per
+    record — the decode is pure (records are immutable tuples and the
+    geometry is fixed per file) and windows re-read the same history
+    records on every slide, so the owning :class:`SABFile` shares one
+    cache across its SABs.  Cached lists are never mutated.
+    """
 
     def __init__(self, geometry: RegionGeometry, window_regions: int,
-                 block_bytes: int = 64) -> None:
+                 block_bytes: int = 64,
+                 block_cache: Optional[Dict[SpatialRegionRecord,
+                                            List[int]]] = None) -> None:
         if window_regions <= 0:
             raise ValueError("window_regions must be positive")
         self.geometry = geometry
         self.window_regions = window_regions
         self.block_bytes = block_bytes
+        self._block_cache = block_cache if block_cache is not None else {}
         #: Next history position to read when the window slides.
         self.pointer = 0
         #: Window entries: (history position, record).
@@ -46,10 +69,18 @@ class StreamAddressBuffer:
         Returns the block addresses of the initial window, in replay
         order — the initial prefetch burst.
         """
+        blocks: List[int] = []
+        self.allocate_into(history, start_position, blocks)
+        return blocks
+
+    def allocate_into(self, history: HistoryBuffer[SpatialRegionRecord],
+                      start_position: int, out: List[int]) -> int:
+        """Buffer-reuse form of :meth:`allocate`: the initial burst is
+        appended to ``out``; returns the number of blocks appended."""
         self.pointer = start_position
         self.window = []
         self._block_map = {}
-        return self._refill(history)
+        return self._refill_into(history, out)
 
     def covers(self, block: int) -> bool:
         """True if ``block`` is inside the current window."""
@@ -62,48 +93,83 @@ class StreamAddressBuffer:
         Returns new prefetch candidates (possibly empty) on a match,
         None when the block is not part of this stream.
         """
+        blocks: List[int] = []
+        if self.advance_into(history, block, blocks) < 0:
+            return None
+        return blocks
+
+    def advance_into(self, history: HistoryBuffer[SpatialRegionRecord],
+                     block: int, out: List[int]) -> int:
+        """Buffer-reuse form of :meth:`advance`.
+
+        Returns −1 when ``block`` is not part of this stream; otherwise
+        the number of new candidates appended to ``out`` (0 for a match
+        in the head region, which does not slide the window).
+        """
         slot = self._block_map.get(block)
         if slot is None:
-            return None
+            return -1
         self.matches += 1
         if slot == 0:
             # Still in the head region: the pointer does not move.
-            return []
+            return 0
         self.window = self.window[slot:]
         self._rebuild_block_map()
-        return self._refill(history)
+        return self._refill_into(history, out)
 
     # ------------------------------------------------------------------
 
-    def _refill(self, history: HistoryBuffer[SpatialRegionRecord]
-                ) -> List[int]:
-        """Read records at ``pointer`` until the window is full; return
-        the blocks of the newly read records in replay order."""
-        new_blocks: List[int] = []
+    def _blocks_of(self, record: SpatialRegionRecord) -> List[int]:
+        """Memoized record decode; the returned list is shared, read-only."""
+        cache = self._block_cache
+        blocks = cache.get(record)
+        if blocks is None:
+            if len(cache) >= _BLOCK_CACHE_LIMIT:
+                cache.clear()
+            blocks = record.blocks(self.geometry, self.block_bytes)
+            cache[record] = blocks
+        return blocks
+
+    def _refill_into(self, history: HistoryBuffer[SpatialRegionRecord],
+                     out: List[int]) -> int:
+        """Read records at ``pointer`` until the window is full; append
+        the blocks of the newly read records to ``out`` in replay order
+        and return how many were appended."""
         needed = self.window_regions - len(self.window)
         if needed <= 0:
-            return new_blocks
+            return 0
+        appended = 0
         run = history.read_run(self.pointer, needed)
+        window = self.window
+        block_map = self._block_map
+        setdefault = block_map.setdefault
         for position, record in run:
-            slot = len(self.window)
-            self.window.append((position, record))
+            slot = len(window)
+            window.append((position, record))
             self.regions_replayed += 1
-            for block in record.blocks(self.geometry, self.block_bytes):
-                self._block_map.setdefault(block, slot)
-                new_blocks.append(block)
+            for block in self._blocks_of(record):
+                setdefault(block, slot)
+                out.append(block)
+                appended += 1
         if run:
             self.pointer = run[-1][0] + 1
-        return new_blocks
+        return appended
 
     def _rebuild_block_map(self) -> None:
-        self._block_map = {}
+        self._block_map = block_map = {}
+        setdefault = block_map.setdefault
         for slot, (_, record) in enumerate(self.window):
-            for block in record.blocks(self.geometry, self.block_bytes):
-                self._block_map.setdefault(block, slot)
+            for block in self._blocks_of(record):
+                setdefault(block, slot)
 
 
 class SABFile:
-    """The file of concurrent SABs with LRU replacement."""
+    """The file of concurrent SABs with LRU replacement.
+
+    Stored as a plain list, most-recently-matched first — the file holds
+    four entries, so ordered scans beat any keyed structure and the
+    per-fetch probe allocates nothing.
+    """
 
     def __init__(self, geometry: RegionGeometry, count: int = 4,
                  window_regions: int = 7, block_bytes: int = 64) -> None:
@@ -113,8 +179,8 @@ class SABFile:
         self.count = count
         self.window_regions = window_regions
         self.block_bytes = block_bytes
-        self._sabs: LRUCache[int, StreamAddressBuffer] = LRUCache(count)
-        self._next_id = 0
+        self._sabs: List[StreamAddressBuffer] = []
+        self._block_cache: Dict[SpatialRegionRecord, List[int]] = {}
         self.allocations = 0
 
     def advance(self, history: HistoryBuffer[SpatialRegionRecord],
@@ -124,28 +190,66 @@ class SABFile:
         Returns the new prefetch candidates from the first SAB that
         matches, or None when no active stream covers the block.
         """
-        for sab_id, sab in list(self._sabs.items_mru_first()):
-            result = sab.advance(history, block)
-            if result is not None:
-                self._sabs.promote(sab_id)
-                return result
-        return None
+        blocks: List[int] = []
+        if self.advance_into(history, block, blocks) < 0:
+            return None
+        return blocks
+
+    def advance_into(self, history: HistoryBuffer[SpatialRegionRecord],
+                     block: int, out: List[int]) -> int:
+        """Buffer-reuse form of :meth:`advance`: candidates from the
+        first matching SAB are appended to ``out``.  Returns the count
+        appended, or −1 when no active stream covers the block.
+
+        The window probe is inlined over each SAB's block map — this
+        runs once per front-end fetch of every PIF lane, and the common
+        outcome is "no stream covers the block", which must cost no
+        more than a few dict probes.
+        """
+        sabs = self._sabs
+        for position, sab in enumerate(sabs):
+            slot = sab._block_map.get(block)
+            if slot is None:
+                continue
+            sab.matches += 1
+            if slot == 0:
+                # Still in the head region: the pointer does not move.
+                appended = 0
+            else:
+                sab.window = sab.window[slot:]
+                sab._rebuild_block_map()
+                appended = sab._refill_into(history, out)
+            if position:
+                del sabs[position]
+                sabs.insert(0, sab)
+            return appended
+        return -1
 
     def allocate(self, history: HistoryBuffer[SpatialRegionRecord],
                  start_position: int) -> List[int]:
         """Start a new stream, evicting the LRU SAB if the file is full."""
+        blocks: List[int] = []
+        self.allocate_into(history, start_position, blocks)
+        return blocks
+
+    def allocate_into(self, history: HistoryBuffer[SpatialRegionRecord],
+                      start_position: int, out: List[int]) -> int:
+        """Buffer-reuse form of :meth:`allocate`; the initial burst is
+        appended to ``out`` and the count returned."""
         self.allocations += 1
         sab = StreamAddressBuffer(self.geometry, self.window_regions,
-                                  self.block_bytes)
-        blocks = sab.allocate(history, start_position)
-        self._next_id += 1
-        self._sabs.put(self._next_id, sab)
-        return blocks
+                                  self.block_bytes, self._block_cache)
+        appended = sab.allocate_into(history, start_position, out)
+        sabs = self._sabs
+        if len(sabs) >= self.count:
+            sabs.pop()
+        sabs.insert(0, sab)
+        return appended
 
     def active_streams(self) -> List[StreamAddressBuffer]:
         """Current SABs, MRU first (for tests and introspection)."""
-        return [sab for _, sab in self._sabs.items_mru_first()]
+        return list(self._sabs)
 
     def reset(self) -> None:
         """Drop all active streams."""
-        self._sabs.clear()
+        self._sabs = []

@@ -76,6 +76,12 @@ class SpatialCompactor:
                  block_bytes: int = 64) -> None:
         self.geometry = geometry if geometry is not None else RegionGeometry()
         self._block_bits = block_bits_for(block_bytes)
+        # The feed path runs once per retired block-run of every PIF
+        # lane; the geometry tests are inlined over these three ints
+        # (bit_index(offset) == offset + preceding, minus one for
+        # positive offsets, which `offset > 0` folds in below).
+        self._preceding = self.geometry.preceding
+        self._succeeding = self.geometry.succeeding
         self._trigger_pc: Optional[int] = None
         self._trigger_block: int = 0
         self._bits: int = 0
@@ -94,8 +100,11 @@ class SpatialCompactor:
             # Re-entry of the trigger block (a tight loop inside one
             # block): nothing to record, the trigger is implicit.
             return None
-        if self.geometry.contains_offset(offset):
-            self._bits |= 1 << self.geometry.bit_index(offset)
+        preceding = self._preceding
+        if -preceding <= offset <= self._succeeding:
+            if offset > 0:
+                offset -= 1
+            self._bits |= 1 << (offset + preceding)
             return None
         emitted = self._emit()
         self._open(pc, block, tagged)

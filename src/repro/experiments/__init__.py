@@ -12,8 +12,8 @@ from .ablations import (
 from .common import (
     EXPERIMENT_CACHE,
     EXPERIMENT_PIF,
-    QUICK_CONFIG,
     ExperimentConfig,
+    QUICK_CONFIG,
     traces_for,
 )
 from .fig2 import Fig2Result, run_fig2

@@ -24,6 +24,7 @@ import time
 from dataclasses import replace
 from typing import List, Optional, TextIO
 
+from ..common.profiling import collecting
 from .ablations import run_all_ablations
 from .common import ExperimentConfig, QUICK_CONFIG
 from .fig2 import run_fig2
@@ -47,7 +48,8 @@ FIGURE_RUNNERS = {
 
 def run_all(config: ExperimentConfig, include_ablations: bool = True,
             stream: Optional[TextIO] = None, jobs: int = 1,
-            figures: Optional[List[str]] = None) -> List[object]:
+            figures: Optional[List[str]] = None,
+            profile: bool = False) -> List[object]:
     """Run every experiment, printing each table as it completes.
 
     ``figures`` restricts the run to a subset of :data:`FIGURE_RUNNERS`
@@ -56,6 +58,13 @@ def run_all(config: ExperimentConfig, include_ablations: bool = True,
     nothing.  A figure subset also skips the ablation sweeps — they are
     not figures, and would dominate the wall-clock of the single-figure
     smoke runs the parameter exists for.
+
+    ``profile`` prints, after each figure's timing line, the per-stage
+    wall-clock breakdown (trace load / baseline replay / lane walk /
+    timing walk) collected by :mod:`repro.common.profiling` — enough to
+    spot a hot-path regression without running the benchmark suite.
+    Stage collection is process-local, so with ``jobs > 1`` the stages
+    executed inside worker processes are not attributed.
     """
     out = stream if stream is not None else sys.stdout
     results: List[object] = []
@@ -74,15 +83,30 @@ def run_all(config: ExperimentConfig, include_ablations: bool = True,
         print(result.to_table(), file=out)
         print(file=out)
 
+    if profile and jobs > 1:
+        print("[--profile] note: stage timers cover the parent process "
+              f"only; --jobs {jobs} runs slices in workers whose stages "
+              "are not attributed", file=sys.stderr)
+
+    def run_step(label: str, step) -> None:
+        step_start = time.time()
+        if profile:
+            with collecting() as stages:
+                emit(step())
+            print(f"[{label} took {time.time() - step_start:.1f}s]",
+                  file=sys.stderr)
+            print(stages.format_table(indent="    "), file=sys.stderr)
+        else:
+            emit(step())
+            print(f"[{label} took {time.time() - step_start:.1f}s]",
+                  file=sys.stderr)
+
     started = time.time()
     with ExperimentPool(jobs=jobs) as pool:
         for name in selected:
             runner = FIGURE_RUNNERS[name]
-            step_start = time.time()
-            emit(runner(config, pool=pool))
-            print(f"[{runner.__name__} took "
-                  f"{time.time() - step_start:.1f}s]",
-                  file=sys.stderr)
+            run_step(runner.__name__,
+                     lambda runner=runner: runner(config, pool=pool))
         if include_ablations:
             for ablation in run_all_ablations(config, pool=pool):
                 emit(ablation)
@@ -110,6 +134,10 @@ def main(argv=None) -> int:
                         help="comma-separated subset of figures to run "
                              f"(choices: {','.join(FIGURE_RUNNERS)}); "
                              "implies --no-ablations")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-figure, per-stage wall-clock "
+                             "(trace load / baseline / lane walk / timing "
+                             "walk) to stderr")
     args = parser.parse_args(argv)
 
     if args.jobs <= 0:
@@ -131,7 +159,7 @@ def main(argv=None) -> int:
 
     try:
         run_all(config, include_ablations=not args.no_ablations,
-                jobs=args.jobs, figures=figures)
+                jobs=args.jobs, figures=figures, profile=args.profile)
     except ValueError as error:
         parser.error(str(error))
     return 0

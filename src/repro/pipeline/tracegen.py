@@ -22,6 +22,7 @@ from functools import lru_cache
 from typing import Any, Dict, List, Optional, Union
 
 from ..common.config import SystemConfig
+from ..common.profiling import STAGE_TRACE_LOAD, stage
 from ..trace.bundle import TraceBundle
 from ..trace.store import TraceKey, TraceStore
 from ..workloads.executor import ProgramExecutor
@@ -110,6 +111,10 @@ def cached_trace(workload: str, instructions: int, seed: int,
                  core: int = 0) -> GeneratedTrace:
     """Memoized :func:`generate_trace` for the named paper workloads.
 
+    Wall-clock spent here (store load or fresh generation; in-process
+    ``lru_cache`` hits never enter) is attributed to the ``trace-load``
+    stage when the runner's ``--profile`` collector is active.
+
     Experiments and benchmarks share traces through this entry point so
     the expensive generation cost is paid once per parameter tuple —
     first from the in-process cache, then from the on-disk
@@ -118,21 +123,22 @@ def cached_trace(workload: str, instructions: int, seed: int,
     generator.  Freshly generated traces are persisted back to the
     store, front-end statistics included.
     """
-    store = TraceStore.from_env()
-    key = TraceKey(workload=workload, instructions=instructions,
-                   seed=seed, core=core)
-    if store is not None:
-        loaded = store.get(key)
-        if loaded is not None:
-            bundle, extra = loaded
-            return GeneratedTrace(bundle=bundle,
-                                  frontend_stats=_stats_from_extra(extra))
-    trace = generate_trace(workload, instructions=instructions, seed=seed,
-                           core=core)
-    if store is not None:
-        store.put(key, trace.bundle,
-                  extra={"frontend_stats": asdict(trace.frontend_stats)})
-    return trace
+    with stage(STAGE_TRACE_LOAD):
+        store = TraceStore.from_env()
+        key = TraceKey(workload=workload, instructions=instructions,
+                       seed=seed, core=core)
+        if store is not None:
+            loaded = store.get(key)
+            if loaded is not None:
+                bundle, extra = loaded
+                return GeneratedTrace(bundle=bundle,
+                                      frontend_stats=_stats_from_extra(extra))
+        trace = generate_trace(workload, instructions=instructions, seed=seed,
+                               core=core)
+        if store is not None:
+            store.put(key, trace.bundle,
+                      extra={"frontend_stats": asdict(trace.frontend_stats)})
+        return trace
 
 
 def multi_core_traces(workload: str, instructions: int, seed: int,

@@ -33,22 +33,33 @@ class DiscontinuityPrefetcher(Prefetcher):
 
     def on_demand_access(self, block: int, pc: int, trap_level: int,
                          hit: bool, was_prefetched: bool) -> List[int]:
-        prefetches: List[int] = []
+        out: List[int] = []
+        self.on_demand_access_into(block, pc, trap_level, hit,
+                                   was_prefetched, out)
+        return out
+
+    def on_demand_access_into(self, block: int, pc: int, trap_level: int,
+                              hit: bool, was_prefetched: bool,
+                              out: List[int]) -> int:
         previous = self._previous_block
+        issued = 0
         if previous is not None and previous != block:
             if not hit and block != previous + 1:
                 # Learn the discontinuity edge previous -> block.
                 self._table.put(previous, block)
             target = self._table.get(block)
             self.stats.triggers += 1
+            append = out.append
             for offset in range(1, self.next_line_degree + 1):
-                prefetches.append(block + offset)
+                append(block + offset)
+            issued = self.next_line_degree
             if target is not None:
-                prefetches.append(target)
-                prefetches.append(target + 1)
+                append(target)
+                append(target + 1)
+                issued += 2
+            self.stats.issued += issued
         self._previous_block = block
-        self.stats.issued += len(prefetches)
-        return prefetches
+        return issued
 
     def reset(self) -> None:
         super().reset()

@@ -31,22 +31,34 @@ class NextLinePrefetcher(Prefetcher):
             raise ValueError(f"unknown trigger {trigger!r}")
         self.degree = degree
         self.trigger = trigger
+        self._miss_only = trigger == "miss"
         self.name = f"next-line(d={degree},{trigger})"
         self._last_triggered: int = -1
 
     def on_demand_access(self, block: int, pc: int, trap_level: int,
                          hit: bool, was_prefetched: bool) -> List[int]:
-        if self.trigger == "miss" and hit:
-            return []
+        out: List[int] = []
+        self.on_demand_access_into(block, pc, trap_level, hit,
+                                   was_prefetched, out)
+        return out
+
+    def on_demand_access_into(self, block: int, pc: int, trap_level: int,
+                              hit: bool, was_prefetched: bool,
+                              out: List[int]) -> int:
+        if hit and self._miss_only:
+            return 0
         if block == self._last_triggered:
             # Same-block fetch burst: the line buffer absorbs these in
             # hardware; re-issuing the same window is pure overhead.
-            return []
+            return 0
         self._last_triggered = block
         self.stats.triggers += 1
-        candidates = [block + offset for offset in range(1, self.degree + 1)]
-        self.stats.issued += len(candidates)
-        return candidates
+        degree = self.degree
+        append = out.append
+        for offset in range(1, degree + 1):
+            append(block + offset)
+        self.stats.issued += degree
+        return degree
 
     def reset(self) -> None:
         super().reset()

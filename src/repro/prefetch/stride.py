@@ -28,9 +28,20 @@ class StridePrefetcher(Prefetcher):
 
     def on_demand_access(self, block: int, pc: int, trap_level: int,
                          hit: bool, was_prefetched: bool) -> List[int]:
-        prefetches: List[int] = []
-        if self._last_block is not None and block != self._last_block:
-            stride = block - self._last_block
+        out: List[int] = []
+        self.on_demand_access_into(block, pc, trap_level, hit,
+                                   was_prefetched, out)
+        return out
+
+    def on_demand_access_into(self, block: int, pc: int, trap_level: int,
+                              hit: bool, was_prefetched: bool,
+                              out: List[int]) -> int:
+        last_block = self._last_block
+        if last_block == block:
+            return 0
+        issued = 0
+        if last_block is not None:
+            stride = block - last_block
             if stride == self._last_stride and stride != 0:
                 self._confirmed = True
             elif self._last_stride is not None:
@@ -38,12 +49,13 @@ class StridePrefetcher(Prefetcher):
             self._last_stride = stride
             if self._confirmed:
                 self.stats.triggers += 1
+                append = out.append
                 for step in range(1, self.degree + 1):
-                    prefetches.append(block + stride * step)
-        if block != self._last_block:
-            self._last_block = block
-        self.stats.issued += len(prefetches)
-        return prefetches
+                    append(block + stride * step)
+                issued = self.degree
+                self.stats.issued += issued
+        self._last_block = block
+        return issued
 
     def reset(self) -> None:
         super().reset()

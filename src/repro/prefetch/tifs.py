@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..common.lru import LRUCache
 from ..core.history import HistoryBuffer, IndexTable
 from .base import Prefetcher
 
@@ -57,56 +56,73 @@ class TIFSPrefetcher(Prefetcher):
         self.history: HistoryBuffer[int] = HistoryBuffer(history_blocks)
         self.index = IndexTable(index_entries)
         self.window_blocks = window_blocks
-        self._streams: LRUCache[int, _MissStream] = LRUCache(streams)
-        self._stream_counter = 0
+        #: Active replays, most-recently-used first (the LRU file of
+        #: stream queues, kept as a plain list so the per-access scan
+        #: allocates nothing).
+        self._streams: List[_MissStream] = []
+        self._stream_capacity = streams
 
     # ------------------------------------------------------------------
 
     def on_demand_access(self, block: int, pc: int, trap_level: int,
                          hit: bool, was_prefetched: bool) -> List[int]:
-        prefetches: List[int] = []
-        matched = self._advance_streams(block, prefetches)
+        out: List[int] = []
+        self.on_demand_access_into(block, pc, trap_level, hit,
+                                   was_prefetched, out)
+        return out
+
+    def on_demand_access_into(self, block: int, pc: int, trap_level: int,
+                              hit: bool, was_prefetched: bool,
+                              out: List[int]) -> int:
+        before = len(out)
+        # Advance the first (MRU-first) stream whose window has the
+        # block; the scan runs once per front-end fetch of every TIFS
+        # lane, so it stays inline rather than behind a helper call.
+        matched = False
+        streams = self._streams
+        for position, stream in enumerate(streams):
+            window = stream.window
+            if block in window:
+                stream.pointer += window.index(block) + 1
+                self._refill(stream, out)
+                if position:
+                    del streams[position]
+                    streams.insert(0, stream)
+                matched = True
+                break
         would_be_miss = (not hit) or (hit and was_prefetched)
         if would_be_miss:
             position = self.history.append(block)
             previous = self.index.lookup(block)
             self.index.insert(block, position)
             if not hit and not matched and previous is not None:
-                self._allocate(previous + 1, prefetches)
-        if prefetches:
-            self.stats.issued += len(prefetches)
-        return prefetches
+                self._allocate(previous + 1, out)
+        issued = len(out) - before
+        if issued:
+            self.stats.issued += issued
+        return issued
 
     # ------------------------------------------------------------------
-
-    def _advance_streams(self, block: int, prefetches: List[int]) -> bool:
-        """Advance any stream whose window contains ``block``."""
-        for stream_id, stream in list(self._streams.items_mru_first()):
-            if block not in stream.window:
-                continue
-            match_offset = stream.window.index(block)
-            stream.pointer += match_offset + 1
-            self._refill(stream, prefetches)
-            self._streams.promote(stream_id)
-            return True
-        return False
 
     def _allocate(self, pointer: int, prefetches: List[int]) -> None:
         self.stats.triggers += 1
         self.stats.stream_allocations += 1
-        self._stream_counter += 1
         stream = _MissStream(pointer, [])
         self._refill(stream, prefetches)
         if stream.window:
-            self._streams.put(self._stream_counter, stream)
+            streams = self._streams
+            if len(streams) >= self._stream_capacity:
+                streams.pop()
+            streams.insert(0, stream)
 
     def _refill(self, stream: _MissStream, prefetches: List[int]) -> None:
         """Re-read the lookahead window at the stream's pointer and queue
         prefetches for addresses newly entering the window."""
-        run = self.history.read_run(stream.pointer, self.window_blocks)
-        new_window = [record for _, record in run]
+        new_window = self.history.read_run_values(stream.pointer,
+                                                  self.window_blocks)
+        old_window = stream.window
         for address in new_window:
-            if address not in stream.window:
+            if address not in old_window:
                 prefetches.append(address)
         stream.window = new_window
 
@@ -114,5 +130,4 @@ class TIFSPrefetcher(Prefetcher):
         super().reset()
         self.history = HistoryBuffer(self.history.capacity)
         self.index = IndexTable(self.index.capacity, self.index.associativity)
-        self._streams.clear()
-        self._stream_counter = 0
+        self._streams = []

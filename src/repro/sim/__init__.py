@@ -10,6 +10,7 @@ from .coverage import (
     measure_pif_predictability,
     measure_stream_predictability,
 )
+from .engine import run_multi_prefetch_simulation
 from .regionstats import (
     DENSITY_BUCKETS,
     GROUP_BUCKETS,
@@ -22,7 +23,6 @@ from .regionstats import (
     regions_of,
     trigger_offset_profile,
 )
-from .engine import run_multi_prefetch_simulation
 from .timing import TimingResult, run_timing_simulation, speedup_comparison
 from .tracesim import PrefetchSimResult, run_prefetch_simulation
 

@@ -13,6 +13,29 @@ sequence a standalone :func:`run_prefetch_simulation` call would feed
 it, so the per-lane results are **bit-identical** to N sequential runs
 (the equivalence test in ``tests/sim/test_engine.py`` locks this).
 
+Two interchangeable kernels drive the lane walk:
+
+* ``"fast"`` (the default) — the flat-array hot path.  The trace
+  columns are decoded to plain Python lists once, then each lane runs a
+  locals-bound walker over them: the 2-way LRU/FIFO geometry (the
+  paper's L1-I) gets :func:`_walk_lane_inline2`, which inlines the
+  cache probe/fill/prefetch directly over the cache's slot arrays with
+  every counter in a local int, and every other geometry gets
+  :func:`_walk_lane_generic` over the allocation-free ``access_fast``
+  (an int result code — ``MISS``/``HIT``/``HIT_PREFETCHED`` — instead
+  of an ``AccessResult`` object).  Prefetchers are driven through the
+  buffer-reuse hook ``on_demand_access_into`` with a per-lane scratch
+  list, so the steady-state loop allocates nothing per access.
+* ``"reference"`` — the original object-model walk over
+  :class:`~repro.cache.reference.ReferenceInstructionCache` with
+  ``access()``/``on_demand_access()``, kept as the differentially
+  tested semantics oracle (and the baseline the lane-walk benchmark
+  measures speedup against).
+
+Both kernels are locked bit-identical for every prefetcher × replacement
+policy by ``tests/sim/test_engine.py``; ``REPRO_SIM_KERNEL`` overrides
+the default for A/B runs of unmodified callers.
+
 The no-prefetch baseline depends only on the access stream and the
 cache configuration, so it does not ride the lane walk at all: each
 distinct configuration is replayed once through the specialized
@@ -31,14 +54,33 @@ remain restricted to the post-warmup measurement window.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 from ..cache.icache import InstructionCache
+from ..cache.reference import ReferenceInstructionCache
 from ..common.config import CacheConfig
-from ..prefetch.base import Prefetcher
+from ..common.profiling import STAGE_BASELINE, STAGE_LANE_WALK, stage
+from ..prefetch.base import Prefetcher, demand_access_hook
+from ..prefetch.discontinuity import DiscontinuityPrefetcher
+from ..prefetch.nextline import NextLinePrefetcher
+from ..prefetch.stride import StridePrefetcher
 from ..trace.bundle import TraceBundle
 from .baseline import count_measured_misses, replay_baseline
 from .tracesim import PrefetchSimResult
+
+#: Lane-walk kernels; ``REPRO_SIM_KERNEL`` selects the default.
+KERNELS = ("fast", "reference")
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Normalize a kernel selector (None -> environment -> "fast")."""
+    if kernel is None:
+        kernel = os.environ.get("REPRO_SIM_KERNEL") or "fast"
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown simulation kernel {kernel!r}; "
+                         f"choices: {KERNELS}")
+    return kernel
 
 
 class _Lane:
@@ -47,7 +89,7 @@ class _Lane:
     __slots__ = ("prefetcher", "cache", "baseline", "remaining_misses",
                  "per_level_remaining", "prefetches_issued")
 
-    def __init__(self, prefetcher: Prefetcher, cache: InstructionCache,
+    def __init__(self, prefetcher: Prefetcher, cache,
                  baseline: "_Baseline") -> None:
         self.prefetcher = prefetcher
         self.cache = cache
@@ -71,40 +113,593 @@ class _Baseline:
             bundle, replay.hits, warmup_fraction)
 
 
+def _retire_hook(prefetcher: Prefetcher):
+    """The prefetcher's retire hook, or None when it is the base no-op
+    (saving a Python call per correct-path access for fetch-side
+    engines)."""
+    if type(prefetcher).on_retire is Prefetcher.on_retire:
+        return None
+    return prefetcher.on_retire
+
+
+def _walk_lane_inline2(lane: _Lane, blocks, pcs, trap_levels, wrong_paths,
+                       retire_pcs, retire_traps,
+                       retire_cursor: int, measuring: bool) -> int:
+    """One lane's walk over an access slice, 2-way LRU/FIFO cache inlined.
+
+    This is the innermost loop of the whole reproduction, specialized
+    for the paper's cache geometry (2 ways, MRU-byte recency): the
+    demand probe, fill, and prefetch install operate directly on the
+    cache's flat slot arrays as local variables, and every counter
+    accumulates in a local int, flushed into ``CacheStats`` once per
+    slice.  State layout and transition order mirror
+    ``InstructionCache.access_fast``/``prefetch`` exactly; the
+    differential suite pins this walker to the reference engine for
+    every prefetcher.
+
+    ``measuring`` folds the warmup window out of the per-access branch
+    work: the caller runs the warmup slice with it False and the
+    measurement slice with it True.  Returns the advanced retire cursor.
+    """
+    cache = lane.cache
+    tags = cache._tags
+    flags = cache._flags
+    mru = cache._mru
+    mru_on_access = cache._mru_on_access
+    n_sets = cache._n_sets
+    prefetcher = lane.prefetcher
+    into = demand_access_hook(prefetcher)
+    on_retire = _retire_hook(prefetcher)
+    out: List[int] = []
+    per_level = lane.per_level_remaining
+    demand_accesses = demand_hits = demand_misses = useful = 0
+    requests = fills = drops = evictions = evicted_unused = 0
+    remaining = issued_total = 0
+    for block, pc, trap_level, wrong_path in zip(blocks, pcs, trap_levels,
+                                                 wrong_paths):
+        # -- demand access (InstructionCache.access_fast, inlined) --
+        demand_accesses += 1
+        index = block % n_sets
+        slot = index + index
+        if tags[slot] != block:
+            if tags[slot + 1] == block:
+                slot += 1
+            else:
+                slot = -1
+        if slot >= 0:
+            demand_hits += 1
+            if mru_on_access:
+                mru[index] = slot & 1
+            state = flags[slot]
+            if state == 1:
+                flags[slot] = 3
+                useful += 1
+                code = 2
+            else:
+                flags[slot] = state | 2
+                code = 1
+        else:
+            demand_misses += 1
+            code = 0
+            slot = index + index
+            if tags[slot] is not None:
+                if tags[slot + 1] is not None:
+                    slot += 1 - mru[index]
+                    evictions += 1
+                    if flags[slot] == 1:
+                        evicted_unused += 1
+                else:
+                    slot += 1
+            tags[slot] = block
+            flags[slot] = 0
+            mru[index] = slot & 1
+            if measuring and not wrong_path:
+                remaining += 1
+                per_level[trap_level] = per_level.get(trap_level, 0) + 1
+        # -- prefetcher hook + prefetch installs (prefetch(), inlined) --
+        count = into(block, pc, trap_level, code != 0, code == 2, out)
+        if count:
+            issued_total += count
+            for candidate in out:
+                requests += 1
+                cindex = candidate % n_sets
+                cslot = cindex + cindex
+                if tags[cslot] == candidate or tags[cslot + 1] == candidate:
+                    drops += 1
+                    continue
+                if tags[cslot] is not None:
+                    if tags[cslot + 1] is not None:
+                        cslot += 1 - mru[cindex]
+                        evictions += 1
+                        if flags[cslot] == 1:
+                            evicted_unused += 1
+                    else:
+                        cslot += 1
+                tags[cslot] = candidate
+                flags[cslot] = 1
+                mru[cindex] = cslot & 1
+                fills += 1
+            del out[:]
+        if not wrong_path:
+            if on_retire is not None:
+                on_retire(retire_pcs[retire_cursor],
+                          retire_traps[retire_cursor], code != 2)
+            retire_cursor += 1
+    stats = cache.stats
+    stats.demand_accesses += demand_accesses
+    stats.demand_hits += demand_hits
+    stats.demand_misses += demand_misses
+    stats.useful_prefetches += useful
+    stats.prefetch_requests += requests
+    stats.prefetch_fills += fills
+    stats.prefetch_drops_present += drops
+    stats.evictions += evictions
+    stats.evicted_unused_prefetches += evicted_unused
+    lane.remaining_misses += remaining
+    lane.prefetches_issued += issued_total
+    return retire_cursor
+
+
+def _walk_lane_inline2_nextline(lane: _Lane, blocks, pcs, trap_levels,
+                                wrong_paths, retire_pcs, retire_traps,
+                                retire_cursor: int, measuring: bool) -> int:
+    """:func:`_walk_lane_inline2` with the next-line engine fused in.
+
+    The three classic fetch-side baselines (next-line, stride,
+    discontinuity) have per-access bodies of a few lines and no retire
+    hook, so the walk inlines them next to the cache operations instead
+    of paying a Python call per access; their learned state lives in
+    locals for the slice and is written back at the end.  Semantics are
+    exactly :meth:`NextLinePrefetcher.on_demand_access_into`.
+    """
+    cache = lane.cache
+    tags = cache._tags
+    flags = cache._flags
+    mru = cache._mru
+    mru_on_access = cache._mru_on_access
+    n_sets = cache._n_sets
+    prefetcher = lane.prefetcher
+    degree = prefetcher.degree
+    miss_only = prefetcher._miss_only
+    last_triggered = prefetcher._last_triggered
+    per_level = lane.per_level_remaining
+    demand_accesses = demand_hits = demand_misses = useful = 0
+    requests = fills = drops = evictions = evicted_unused = 0
+    remaining = issued = triggers = 0
+    for block, trap_level, wrong_path in zip(blocks, trap_levels,
+                                             wrong_paths):
+        demand_accesses += 1
+        index = block % n_sets
+        slot = index + index
+        if tags[slot] != block:
+            if tags[slot + 1] == block:
+                slot += 1
+            else:
+                slot = -1
+        if slot >= 0:
+            hit = True
+            demand_hits += 1
+            if mru_on_access:
+                mru[index] = slot & 1
+            state = flags[slot]
+            if state == 1:
+                flags[slot] = 3
+                useful += 1
+            else:
+                flags[slot] = state | 2
+        else:
+            hit = False
+            demand_misses += 1
+            slot = index + index
+            if tags[slot] is not None:
+                if tags[slot + 1] is not None:
+                    slot += 1 - mru[index]
+                    evictions += 1
+                    if flags[slot] == 1:
+                        evicted_unused += 1
+                else:
+                    slot += 1
+            tags[slot] = block
+            flags[slot] = 0
+            mru[index] = slot & 1
+            if measuring and not wrong_path:
+                remaining += 1
+                per_level[trap_level] = per_level.get(trap_level, 0) + 1
+        if not (hit and miss_only) and block != last_triggered:
+            last_triggered = block
+            triggers += 1
+            issued += degree
+            for candidate in range(block + 1, block + degree + 1):
+                requests += 1
+                cindex = candidate % n_sets
+                cslot = cindex + cindex
+                if tags[cslot] == candidate or tags[cslot + 1] == candidate:
+                    drops += 1
+                    continue
+                if tags[cslot] is not None:
+                    if tags[cslot + 1] is not None:
+                        cslot += 1 - mru[cindex]
+                        evictions += 1
+                        if flags[cslot] == 1:
+                            evicted_unused += 1
+                    else:
+                        cslot += 1
+                tags[cslot] = candidate
+                flags[cslot] = 1
+                mru[cindex] = cslot & 1
+                fills += 1
+        if not wrong_path:
+            retire_cursor += 1
+    prefetcher._last_triggered = last_triggered
+    pf_stats = prefetcher.stats
+    pf_stats.triggers += triggers
+    pf_stats.issued += issued
+    stats = cache.stats
+    stats.demand_accesses += demand_accesses
+    stats.demand_hits += demand_hits
+    stats.demand_misses += demand_misses
+    stats.useful_prefetches += useful
+    stats.prefetch_requests += requests
+    stats.prefetch_fills += fills
+    stats.prefetch_drops_present += drops
+    stats.evictions += evictions
+    stats.evicted_unused_prefetches += evicted_unused
+    lane.remaining_misses += remaining
+    lane.prefetches_issued += issued
+    return retire_cursor
+
+
+def _walk_lane_inline2_stride(lane: _Lane, blocks, pcs, trap_levels,
+                              wrong_paths, retire_pcs, retire_traps,
+                              retire_cursor: int, measuring: bool) -> int:
+    """:func:`_walk_lane_inline2` with the stride engine fused in
+    (semantics of :meth:`StridePrefetcher.on_demand_access_into`)."""
+    cache = lane.cache
+    tags = cache._tags
+    flags = cache._flags
+    mru = cache._mru
+    mru_on_access = cache._mru_on_access
+    n_sets = cache._n_sets
+    prefetcher = lane.prefetcher
+    degree = prefetcher.degree
+    last_block = prefetcher._last_block
+    last_stride = prefetcher._last_stride
+    confirmed = prefetcher._confirmed
+    per_level = lane.per_level_remaining
+    demand_accesses = demand_hits = demand_misses = useful = 0
+    requests = fills = drops = evictions = evicted_unused = 0
+    remaining = issued = triggers = 0
+    for block, trap_level, wrong_path in zip(blocks, trap_levels,
+                                             wrong_paths):
+        demand_accesses += 1
+        index = block % n_sets
+        slot = index + index
+        if tags[slot] != block:
+            if tags[slot + 1] == block:
+                slot += 1
+            else:
+                slot = -1
+        if slot >= 0:
+            demand_hits += 1
+            if mru_on_access:
+                mru[index] = slot & 1
+            state = flags[slot]
+            if state == 1:
+                flags[slot] = 3
+                useful += 1
+            else:
+                flags[slot] = state | 2
+        else:
+            demand_misses += 1
+            slot = index + index
+            if tags[slot] is not None:
+                if tags[slot + 1] is not None:
+                    slot += 1 - mru[index]
+                    evictions += 1
+                    if flags[slot] == 1:
+                        evicted_unused += 1
+                else:
+                    slot += 1
+            tags[slot] = block
+            flags[slot] = 0
+            mru[index] = slot & 1
+            if measuring and not wrong_path:
+                remaining += 1
+                per_level[trap_level] = per_level.get(trap_level, 0) + 1
+        if block != last_block:
+            if last_block is not None:
+                stride = block - last_block
+                if stride == last_stride and stride != 0:
+                    confirmed = True
+                elif last_stride is not None:
+                    confirmed = False
+                last_stride = stride
+                if confirmed:
+                    triggers += 1
+                    issued += degree
+                    for step in range(1, degree + 1):
+                        candidate = block + stride * step
+                        requests += 1
+                        cindex = candidate % n_sets
+                        cslot = cindex + cindex
+                        if (tags[cslot] == candidate
+                                or tags[cslot + 1] == candidate):
+                            drops += 1
+                            continue
+                        if tags[cslot] is not None:
+                            if tags[cslot + 1] is not None:
+                                cslot += 1 - mru[cindex]
+                                evictions += 1
+                                if flags[cslot] == 1:
+                                    evicted_unused += 1
+                            else:
+                                cslot += 1
+                        tags[cslot] = candidate
+                        flags[cslot] = 1
+                        mru[cindex] = cslot & 1
+                        fills += 1
+            last_block = block
+        if not wrong_path:
+            retire_cursor += 1
+    prefetcher._last_block = last_block
+    prefetcher._last_stride = last_stride
+    prefetcher._confirmed = confirmed
+    pf_stats = prefetcher.stats
+    pf_stats.triggers += triggers
+    pf_stats.issued += issued
+    stats = cache.stats
+    stats.demand_accesses += demand_accesses
+    stats.demand_hits += demand_hits
+    stats.demand_misses += demand_misses
+    stats.useful_prefetches += useful
+    stats.prefetch_requests += requests
+    stats.prefetch_fills += fills
+    stats.prefetch_drops_present += drops
+    stats.evictions += evictions
+    stats.evicted_unused_prefetches += evicted_unused
+    lane.remaining_misses += remaining
+    lane.prefetches_issued += issued
+    return retire_cursor
+
+
+def _walk_lane_inline2_discontinuity(lane: _Lane, blocks, pcs, trap_levels,
+                                     wrong_paths, retire_pcs, retire_traps,
+                                     retire_cursor: int,
+                                     measuring: bool) -> int:
+    """:func:`_walk_lane_inline2` with the discontinuity engine fused in
+    (semantics of :meth:`DiscontinuityPrefetcher.on_demand_access_into`)."""
+    cache = lane.cache
+    tags = cache._tags
+    flags = cache._flags
+    mru = cache._mru
+    mru_on_access = cache._mru_on_access
+    n_sets = cache._n_sets
+    prefetcher = lane.prefetcher
+    nl_degree = prefetcher.next_line_degree
+    table_get = prefetcher._table.get
+    table_put = prefetcher._table.put
+    previous = prefetcher._previous_block
+    out: List[int] = []
+    per_level = lane.per_level_remaining
+    demand_accesses = demand_hits = demand_misses = useful = 0
+    requests = fills = drops = evictions = evicted_unused = 0
+    remaining = issued = triggers = 0
+    for block, trap_level, wrong_path in zip(blocks, trap_levels,
+                                             wrong_paths):
+        demand_accesses += 1
+        index = block % n_sets
+        slot = index + index
+        if tags[slot] != block:
+            if tags[slot + 1] == block:
+                slot += 1
+            else:
+                slot = -1
+        if slot >= 0:
+            hit = True
+            demand_hits += 1
+            if mru_on_access:
+                mru[index] = slot & 1
+            state = flags[slot]
+            if state == 1:
+                flags[slot] = 3
+                useful += 1
+            else:
+                flags[slot] = state | 2
+        else:
+            hit = False
+            demand_misses += 1
+            slot = index + index
+            if tags[slot] is not None:
+                if tags[slot + 1] is not None:
+                    slot += 1 - mru[index]
+                    evictions += 1
+                    if flags[slot] == 1:
+                        evicted_unused += 1
+                else:
+                    slot += 1
+            tags[slot] = block
+            flags[slot] = 0
+            mru[index] = slot & 1
+            if measuring and not wrong_path:
+                remaining += 1
+                per_level[trap_level] = per_level.get(trap_level, 0) + 1
+        if previous is not None and previous != block:
+            if not hit and block != previous + 1:
+                table_put(previous, block)
+            target = table_get(block)
+            triggers += 1
+            for candidate in range(block + 1, block + nl_degree + 1):
+                out.append(candidate)
+            if target is not None:
+                out.append(target)
+                out.append(target + 1)
+            issued += len(out)
+            for candidate in out:
+                requests += 1
+                cindex = candidate % n_sets
+                cslot = cindex + cindex
+                if tags[cslot] == candidate or tags[cslot + 1] == candidate:
+                    drops += 1
+                    continue
+                if tags[cslot] is not None:
+                    if tags[cslot + 1] is not None:
+                        cslot += 1 - mru[cindex]
+                        evictions += 1
+                        if flags[cslot] == 1:
+                            evicted_unused += 1
+                    else:
+                        cslot += 1
+                tags[cslot] = candidate
+                flags[cslot] = 1
+                mru[cindex] = cslot & 1
+                fills += 1
+            del out[:]
+        previous = block
+        if not wrong_path:
+            retire_cursor += 1
+    prefetcher._previous_block = previous
+    pf_stats = prefetcher.stats
+    pf_stats.triggers += triggers
+    pf_stats.issued += issued
+    stats = cache.stats
+    stats.demand_accesses += demand_accesses
+    stats.demand_hits += demand_hits
+    stats.demand_misses += demand_misses
+    stats.useful_prefetches += useful
+    stats.prefetch_requests += requests
+    stats.prefetch_fills += fills
+    stats.prefetch_drops_present += drops
+    stats.evictions += evictions
+    stats.evicted_unused_prefetches += evicted_unused
+    lane.remaining_misses += remaining
+    lane.prefetches_issued += issued
+    return retire_cursor
+
+
+#: Fetch-side engines whose per-access logic is fused into a
+#: specialized 2-way walker.  Exact types only: a subclass may change
+#: behaviour, so it falls back to the hook-driven walker.
+_FUSED_WALKERS = {
+    NextLinePrefetcher: _walk_lane_inline2_nextline,
+    StridePrefetcher: _walk_lane_inline2_stride,
+    DiscontinuityPrefetcher: _walk_lane_inline2_discontinuity,
+}
+
+
+def _select_walker(lane: _Lane):
+    """Pick the most specialized fast walker this lane supports."""
+    if lane.cache._mru is None:
+        return _walk_lane_generic
+    return _FUSED_WALKERS.get(type(lane.prefetcher), _walk_lane_inline2)
+
+
+def _walk_lane_generic(lane: _Lane, blocks, pcs, trap_levels, wrong_paths,
+                       retire_pcs, retire_traps,
+                       retire_cursor: int, measuring: bool) -> int:
+    """One lane's walk for any cache geometry/policy, through the
+    allocation-free ``access_fast``/``prefetch`` methods."""
+    cache = lane.cache
+    access_fast = cache.access_fast
+    prefetch = cache.prefetch
+    prefetcher = lane.prefetcher
+    into = demand_access_hook(prefetcher)
+    on_retire = _retire_hook(prefetcher)
+    out: List[int] = []
+    per_level = lane.per_level_remaining
+    for block, pc, trap_level, wrong_path in zip(blocks, pcs, trap_levels,
+                                                 wrong_paths):
+        code = access_fast(block)
+        if code == 0 and measuring and not wrong_path:
+            lane.remaining_misses += 1
+            per_level[trap_level] = per_level.get(trap_level, 0) + 1
+        count = into(block, pc, trap_level, code != 0, code == 2, out)
+        if count:
+            lane.prefetches_issued += count
+            for candidate in out:
+                prefetch(candidate)
+            del out[:]
+        if not wrong_path:
+            if on_retire is not None:
+                on_retire(retire_pcs[retire_cursor],
+                          retire_traps[retire_cursor], code != 2)
+            retire_cursor += 1
+    return retire_cursor
+
+
+def _walk_reference(lanes: List[_Lane], blocks, pcs, trap_levels,
+                    wrong_paths, retire_pcs, retire_traps,
+                    warmup_boundary: int) -> int:
+    """The original object-model lane walk (semantics oracle)."""
+    retire_cursor = 0
+    for position, (block, pc, trap_level, wrong_path) in enumerate(
+            zip(blocks, pcs, trap_levels, wrong_paths)):
+        measuring = position >= warmup_boundary
+        correct_path = not wrong_path
+        retire_pc = retire_trap = None
+        if correct_path:
+            retire_pc = retire_pcs[retire_cursor]
+            retire_trap = retire_traps[retire_cursor]
+            retire_cursor += 1
+        for lane in lanes:
+            test_result = lane.cache.access(block)
+            if correct_path and measuring and not test_result.hit:
+                lane.remaining_misses += 1
+                lane.per_level_remaining[trap_level] = (
+                    lane.per_level_remaining.get(trap_level, 0) + 1)
+            candidates = lane.prefetcher.on_demand_access(
+                block, pc, trap_level,
+                test_result.hit, test_result.was_prefetched)
+            for candidate in candidates:
+                lane.prefetches_issued += 1
+                lane.cache.prefetch(candidate)
+            if retire_pc is not None:
+                lane.prefetcher.on_retire(retire_pc, retire_trap,
+                                          tagged=test_result.tagged)
+    return retire_cursor
+
+
 def run_multi_prefetch_simulation(
     bundle: TraceBundle,
     prefetchers: Sequence[Prefetcher],
     cache_config: Optional[CacheConfig] = None,
     warmup_fraction: float = 0.25,
     cache_configs: Optional[Sequence[Optional[CacheConfig]]] = None,
+    kernel: Optional[str] = None,
 ) -> List[PrefetchSimResult]:
     """Simulate every prefetcher over ``bundle`` in one trace walk.
 
     Arguments mirror :func:`repro.sim.tracesim.run_prefetch_simulation`;
     ``cache_config`` applies to every lane unless ``cache_configs``
     supplies a per-lane override (``None`` entries fall back to
-    ``cache_config``).  Returns one :class:`PrefetchSimResult` per
-    prefetcher, in input order, each identical to what a standalone
-    sequential run of that engine would have produced.
+    ``cache_config``).  ``kernel`` selects the lane-walk implementation
+    (``"fast"``/``"reference"``; None reads ``REPRO_SIM_KERNEL`` and
+    falls back to the fast kernel — results are bit-identical either
+    way).  Returns one :class:`PrefetchSimResult` per prefetcher, in
+    input order, each identical to what a standalone sequential run of
+    that engine would have produced.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
     if cache_configs is not None and len(cache_configs) != len(prefetchers):
         raise ValueError("cache_configs must match prefetchers in length")
+    kernel = resolve_kernel(kernel)
+    cache_class = (InstructionCache if kernel == "fast"
+                   else ReferenceInstructionCache)
     default_config = cache_config if cache_config is not None else CacheConfig()
 
     baselines: Dict[CacheConfig, _Baseline] = {}
     lanes: List[_Lane] = []
-    for position, prefetcher in enumerate(prefetchers):
-        lane_config = default_config
-        if cache_configs is not None and cache_configs[position] is not None:
-            lane_config = cache_configs[position]
-        baseline = baselines.get(lane_config)
-        if baseline is None:
-            baseline = _Baseline(bundle, lane_config, warmup_fraction)
-            baselines[lane_config] = baseline
-        lanes.append(_Lane(prefetcher, InstructionCache(lane_config),
-                           baseline))
+    with stage(STAGE_BASELINE):
+        for position, prefetcher in enumerate(prefetchers):
+            lane_config = default_config
+            if cache_configs is not None and cache_configs[position] is not None:
+                lane_config = cache_configs[position]
+            baseline = baselines.get(lane_config)
+            if baseline is None:
+                baseline = _Baseline(bundle, lane_config, warmup_fraction)
+                baselines[lane_config] = baseline
+            lanes.append(_Lane(prefetcher, cache_class(lane_config),
+                               baseline))
 
     blocks = bundle.access_block.tolist()
     pcs = bundle.access_pc.tolist()
@@ -114,38 +709,37 @@ def run_multi_prefetch_simulation(
     retire_traps = bundle.retire_trap.tolist()
     warmup_boundary = int(len(blocks) * warmup_fraction)
 
-    retire_cursor = 0
     if lanes:
-        for position, (block, pc, trap_level, wrong_path) in enumerate(
-                zip(blocks, pcs, trap_levels, wrong_paths)):
-            measuring = position >= warmup_boundary
-            correct_path = not wrong_path
-            retire_pc = retire_trap = None
-            if correct_path:
-                retire_pc = retire_pcs[retire_cursor]
-                retire_trap = retire_traps[retire_cursor]
-                retire_cursor += 1
-            for lane in lanes:
-                test_result = lane.cache.access(block)
-                if correct_path and measuring and not test_result.hit:
-                    lane.remaining_misses += 1
-                    lane.per_level_remaining[trap_level] = (
-                        lane.per_level_remaining.get(trap_level, 0) + 1)
-                candidates = lane.prefetcher.on_demand_access(
-                    block, pc, trap_level,
-                    test_result.hit, test_result.was_prefetched)
-                for candidate in candidates:
-                    lane.prefetches_issued += 1
-                    lane.cache.prefetch(candidate)
-                if retire_pc is not None:
-                    lane.prefetcher.on_retire(retire_pc, retire_trap,
-                                              tagged=test_result.tagged)
-
-        if retire_cursor != len(retire_pcs):
-            raise RuntimeError(
-                "access/retire alignment broken: consumed "
-                f"{retire_cursor} of {len(retire_pcs)} retire records"
-            )
+        with stage(STAGE_LANE_WALK):
+            if kernel == "fast":
+                warm = (blocks[:warmup_boundary], pcs[:warmup_boundary],
+                        trap_levels[:warmup_boundary],
+                        wrong_paths[:warmup_boundary])
+                measured = (blocks[warmup_boundary:], pcs[warmup_boundary:],
+                            trap_levels[warmup_boundary:],
+                            wrong_paths[warmup_boundary:])
+                for lane in lanes:
+                    walker = _select_walker(lane)
+                    retire_cursor = walker(lane, *warm, retire_pcs,
+                                           retire_traps, 0, False)
+                    retire_cursor = walker(lane, *measured, retire_pcs,
+                                           retire_traps, retire_cursor, True)
+                    if retire_cursor != len(retire_pcs):
+                        raise RuntimeError(
+                            "access/retire alignment broken: lane "
+                            f"{lane.prefetcher.name!r} consumed "
+                            f"{retire_cursor} of {len(retire_pcs)} "
+                            "retire records"
+                        )
+            else:
+                retire_cursor = _walk_reference(
+                    lanes, blocks, pcs, trap_levels, wrong_paths,
+                    retire_pcs, retire_traps, warmup_boundary)
+                if retire_cursor != len(retire_pcs):
+                    raise RuntimeError(
+                        "access/retire alignment broken: consumed "
+                        f"{retire_cursor} of {len(retire_pcs)} retire records"
+                    )
 
     return [
         PrefetchSimResult(

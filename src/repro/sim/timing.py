@@ -18,17 +18,31 @@ the reproduction calibration — the model charges:
 
 Fill latency is the L2 hit latency for warm blocks and the memory
 latency for never-before-touched blocks.
+
+Like the lane walk in :mod:`repro.sim.engine`, the fetch loop runs on
+the flat-array kernel by default: it iterates the bundle's raw columns
+(no ``FetchAccess`` objects), probes the cache through ``access_fast``
+result codes, and drives the prefetcher through the buffer-reuse
+``on_demand_access_into`` hook with one scratch list.  ``kernel=
+"reference"`` keeps the original object-model loop (over
+:class:`~repro.cache.reference.ReferenceInstructionCache` and the
+list-returning prefetcher API) as the differentially tested oracle —
+``tests/sim/test_timing.py`` locks every ``TimingResult`` field across
+the two.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..cache.icache import InstructionCache
+from ..cache.reference import ReferenceInstructionCache
 from ..common.config import SystemConfig
-from ..prefetch.base import NullPrefetcher, Prefetcher
+from ..common.profiling import STAGE_TIMING_WALK, stage
+from ..prefetch.base import NullPrefetcher, Prefetcher, demand_access_hook
 from ..trace.bundle import TraceBundle
+from .engine import resolve_kernel
 
 
 @dataclass(slots=True)
@@ -62,22 +76,194 @@ def run_timing_simulation(
     system: Optional[SystemConfig] = None,
     warmup_fraction: float = 0.25,
     perfect_cache: bool = False,
+    kernel: Optional[str] = None,
 ) -> TimingResult:
     """Timing-simulate one prefetcher over one trace bundle.
 
     ``perfect_cache=True`` models the paper's perfect-latency L1-I
     (every fetch returns at hit latency; all other behaviour unchanged).
+    ``kernel`` mirrors :func:`repro.sim.engine.run_multi_prefetch_simulation`:
+    ``"fast"`` (default, or via ``REPRO_SIM_KERNEL``) runs the columnar
+    result-code loop, ``"reference"`` the original object walk; the two
+    produce identical results.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
     engine = prefetcher if prefetcher is not None else NullPrefetcher()
     cfg = system if system is not None else SystemConfig()
+    if not len(bundle.retire_pc):
+        raise ValueError("cannot time an empty trace")
+    with stage(STAGE_TIMING_WALK):
+        if resolve_kernel(kernel) == "fast":
+            return _run_timing_fast(bundle, engine, cfg, warmup_fraction,
+                                    perfect_cache)
+        return _run_timing_reference(bundle, engine, cfg, warmup_fraction,
+                                     perfect_cache)
+
+
+def _run_timing_fast(bundle: TraceBundle, engine: Prefetcher,
+                     cfg: SystemConfig, warmup_fraction: float,
+                     perfect_cache: bool) -> TimingResult:
+    """Columnar fetch loop over the flat-array cache kernel."""
     cache = InstructionCache(cfg.l1i)
+    access_fast = cache.access_fast
+    cache_fill = cache.fill
+    contains = cache.contains
+    cache_prefetch = cache.prefetch
+    into = demand_access_hook(engine)
+    on_retire = engine.on_retire
+
+    blocks = bundle.access_block.tolist()
+    pcs = bundle.access_pc.tolist()
+    trap_levels = bundle.access_trap.tolist()
+    wrong_paths = bundle.access_wrong_path.tolist()
+    retire_pcs = bundle.retire_pc.tolist()
+    retire_traps = bundle.retire_trap.tolist()
+
+    instructions_per_retire = bundle.instructions / len(retire_pcs)
+    width = cfg.pipeline.retire_width
+    overlap = cfg.pipeline.fetch_queue_entries / width
+    l2_latency = float(cfg.memory.l2_hit_latency)
+    memory_latency = float(cfg.memory.memory_latency)
+    warmup_boundary = int(len(blocks) * warmup_fraction)
+    base = instructions_per_retire / width
+
+    now = 0.0
+    measured_cycles = 0.0
+    measured_instructions = 0.0
+    measured_stalls = 0.0
+    fetch_misses = 0
+    late_hits = 0
+
+    in_flight: Dict[int, float] = {}
+    touched: set = set()
+    touched_add = touched.add
+    previous_tl: Optional[int] = None
+    issue_queue_free_at = 0.0
+    retire_cursor = 0
+    out: List[int] = []
+    position = 0
+
+    for block, pc, trap_level, wrong_path in zip(blocks, pcs, trap_levels,
+                                                 wrong_paths):
+        measuring = position >= warmup_boundary
+        position += 1
+        if wrong_path:
+            # Wrong-path fetches overlap resolution: cache effects only.
+            code = access_fast(block)
+            touched_add(block)
+            if into(block, pc, trap_level, code != 0, code == 2, out):
+                issue_queue_free_at = _issue_prefetches(
+                    out, contains, cache_prefetch, in_flight, now,
+                    issue_queue_free_at, touched_add, touched,
+                    l2_latency, memory_latency)
+                del out[:]
+            continue
+
+        # Base pipeline cost of the instructions this fetch feeds.
+        start = now
+        now += base
+
+        hide = overlap
+        if previous_tl is not None and trap_level != previous_tl:
+            # Returning from / entering a handler drains the ROB.
+            hide = 0.0
+        previous_tl = trap_level
+
+        code = access_fast(block, False)
+        stall = 0.0
+        if perfect_cache:
+            if code == 0:
+                cache_fill(block, False)
+        elif code:
+            ready = in_flight.get(block)
+            if ready is not None and ready > now:
+                # Prefetch in flight: expose only the residual latency.
+                stall = (ready - now) - hide
+                if stall < 0.0:
+                    stall = 0.0
+                late_hits += 1
+            if ready is not None and ready <= now + stall:
+                del in_flight[block]
+        else:
+            if measuring:
+                fetch_misses += 1
+            ready = in_flight.pop(block, None)
+            if ready is not None:
+                stall = (ready - now) - hide
+                late_hits += 1
+            else:
+                latency = l2_latency if block in touched else memory_latency
+                stall = latency - hide
+            if stall < 0.0:
+                stall = 0.0
+            cache_fill(block, False)
+        now += stall
+        touched_add(block)
+
+        if into(block, pc, trap_level, code != 0, code == 2, out):
+            issue_queue_free_at = _issue_prefetches(
+                out, contains, cache_prefetch, in_flight, now,
+                issue_queue_free_at, touched_add, touched,
+                l2_latency, memory_latency)
+            del out[:]
+
+        on_retire(retire_pcs[retire_cursor], retire_traps[retire_cursor],
+                  code != 2)
+        retire_cursor += 1
+
+        if measuring:
+            measured_cycles += now - start
+            measured_instructions += instructions_per_retire
+            measured_stalls += stall
+
+    if retire_cursor != len(retire_pcs):
+        raise RuntimeError("access/retire alignment broken in timing model")
+
+    return TimingResult(
+        workload=bundle.workload,
+        prefetcher="perfect" if perfect_cache else engine.name,
+        instructions=int(measured_instructions),
+        cycles=measured_cycles,
+        stall_cycles=measured_stalls,
+        fetch_misses=fetch_misses,
+        late_prefetch_hits=late_hits,
+    )
+
+
+def _issue_prefetches(candidates, contains, cache_prefetch,
+                      in_flight: Dict[int, float], now: float,
+                      queue_free_at: float, touched_add, touched,
+                      l2_latency: float, memory_latency: float) -> float:
+    """Issue prefetches one per cycle through a shared port.
+
+    Blocks already resident or already in flight are filtered (the
+    Section 4.3 probe).  The cache is filled immediately — functional
+    state — while ``in_flight`` carries the arrival time that demand
+    fetches pay if they arrive early.  Issued blocks join ``touched``:
+    the fill installs them in the L2 as well, so a later refetch after
+    L1 eviction pays the L2 latency, not memory latency.
+    """
+    issue_at = max(now, queue_free_at)
+    for block in candidates:
+        if contains(block) or block in in_flight:
+            continue
+        issue_at += 1.0
+        latency = l2_latency if block in touched else memory_latency
+        in_flight[block] = issue_at + latency
+        touched_add(block)
+        cache_prefetch(block)
+    return issue_at
+
+
+def _run_timing_reference(bundle: TraceBundle, engine: Prefetcher,
+                          cfg: SystemConfig, warmup_fraction: float,
+                          perfect_cache: bool) -> TimingResult:
+    """The original object-model fetch loop (semantics oracle)."""
+    cache = ReferenceInstructionCache(cfg.l1i)
 
     accesses = bundle.accesses
     retires = bundle.retires
-    if not retires:
-        raise ValueError("cannot time an empty trace")
     instructions_per_retire = bundle.instructions / len(retires)
     width = cfg.pipeline.retire_width
     overlap = cfg.pipeline.fetch_queue_entries / width
@@ -103,6 +289,17 @@ def run_timing_simulation(
             return l2_latency
         return memory_latency
 
+    def issue(candidates, queue_free_at: float) -> float:
+        issue_at = max(now, queue_free_at)
+        for block in candidates:
+            if cache.contains(block) or block in in_flight:
+                continue
+            issue_at += 1.0
+            in_flight[block] = issue_at + fill_latency(block)
+            touched.add(block)
+            cache.prefetch(block)
+        return issue_at
+
     for position, access in enumerate(accesses):
         measuring = position >= warmup_boundary
         block = access.block
@@ -113,9 +310,7 @@ def run_timing_simulation(
             candidates = engine.on_demand_access(
                 block, access.pc, access.trap_level,
                 outcome.hit, outcome.was_prefetched)
-            issue_queue_free_at = _issue_prefetches(
-                candidates, cache, in_flight, now, issue_queue_free_at,
-                fill_latency, touched)
+            issue_queue_free_at = issue(candidates, issue_queue_free_at)
             continue
 
         # Base pipeline cost of the instructions this fetch feeds.
@@ -158,9 +353,7 @@ def run_timing_simulation(
         candidates = engine.on_demand_access(
             block, access.pc, access.trap_level,
             outcome.hit, outcome.was_prefetched)
-        issue_queue_free_at = _issue_prefetches(
-            candidates, cache, in_flight, now, issue_queue_free_at,
-            fill_latency, touched)
+        issue_queue_free_at = issue(candidates, issue_queue_free_at)
 
         retire = retires[retire_cursor]
         retire_cursor += 1
@@ -185,36 +378,13 @@ def run_timing_simulation(
     )
 
 
-def _issue_prefetches(candidates, cache: InstructionCache,
-                      in_flight: Dict[int, float], now: float,
-                      queue_free_at: float, fill_latency,
-                      touched: set) -> float:
-    """Issue prefetches one per cycle through a shared port.
-
-    Blocks already resident or already in flight are filtered (the
-    Section 4.3 probe).  The cache is filled immediately — functional
-    state — while ``in_flight`` carries the arrival time that demand
-    fetches pay if they arrive early.  Issued blocks join ``touched``:
-    the fill installs them in the L2 as well, so a later refetch after
-    L1 eviction pays the L2 latency, not memory latency.
-    """
-    issue_at = max(now, queue_free_at)
-    for block in candidates:
-        if cache.contains(block) or block in in_flight:
-            continue
-        issue_at += 1.0
-        in_flight[block] = issue_at + fill_latency(block)
-        touched.add(block)
-        cache.prefetch(block)
-    return issue_at
-
-
 def speedup_comparison(
     bundle: TraceBundle,
     prefetchers: Dict[str, Prefetcher],
     system: Optional[SystemConfig] = None,
     warmup_fraction: float = 0.25,
     include_perfect: bool = True,
+    kernel: Optional[str] = None,
 ) -> Dict[str, float]:
     """Speedups over the no-prefetch baseline for several engines.
 
@@ -222,14 +392,16 @@ def speedup_comparison(
     and, when requested, ``perfect``.
     """
     baseline = run_timing_simulation(bundle, NullPrefetcher(), system,
-                                     warmup_fraction)
+                                     warmup_fraction, kernel=kernel)
     base_uipc = baseline.uipc()
     results: Dict[str, float] = {"baseline": 1.0}
     for name, engine in prefetchers.items():
-        timed = run_timing_simulation(bundle, engine, system, warmup_fraction)
+        timed = run_timing_simulation(bundle, engine, system,
+                                      warmup_fraction, kernel=kernel)
         results[name] = timed.uipc() / base_uipc if base_uipc else 0.0
     if include_perfect:
         perfect = run_timing_simulation(bundle, None, system,
-                                        warmup_fraction, perfect_cache=True)
+                                        warmup_fraction, perfect_cache=True,
+                                        kernel=kernel)
         results["perfect"] = perfect.uipc() / base_uipc if base_uipc else 0.0
     return results

@@ -2,11 +2,11 @@
 
 from .bundle import TraceBundle, merge_statistics
 from .records import (
-    TL_APPLICATION,
-    TL_INTERRUPT,
     FetchAccess,
     RetiredInstruction,
     StreamKind,
+    TL_APPLICATION,
+    TL_INTERRUPT,
 )
 from .serialize import (
     TraceFormatError,
@@ -15,7 +15,6 @@ from .serialize import (
     save_bundle,
     save_bundle_atomic,
 )
-from .store import TraceKey, TraceStore, generator_version_hash
 from .stats import (
     StreamStats,
     analyze_block_stream,
@@ -25,6 +24,7 @@ from .stats import (
     stream_overlap,
     summarize_streams,
 )
+from .store import TraceKey, TraceStore, generator_version_hash
 from .streams import (
     access_block_stream,
     collapse_block_runs,

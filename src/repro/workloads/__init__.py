@@ -1,6 +1,6 @@
 """Synthetic server workloads: specs, program generation, execution."""
 
-from .executor import ControlRecord, ProgramExecutor, MAX_TRANSACTION_INSTRUCTIONS
+from .executor import ControlRecord, MAX_TRANSACTION_INSTRUCTIONS, ProgramExecutor
 from .generator import (
     APPLICATION_TEXT_BASE,
     HANDLER_TEXT_BASE,

@@ -3,11 +3,11 @@
 import pytest
 
 from repro.common.config import (
-    PAPER_PIF,
-    PAPER_SYSTEM,
     BranchPredictorConfig,
     CacheConfig,
     MemoryConfig,
+    PAPER_PIF,
+    PAPER_SYSTEM,
     PIFConfig,
     PipelineConfig,
     SystemConfig,

@@ -8,8 +8,8 @@ actually short-circuit the generator.
 import pytest
 
 import repro.pipeline.tracegen as tracegen
-from repro.core.pif import ProactiveInstructionFetch
 from repro.common.config import CacheConfig, PIFConfig
+from repro.core.pif import ProactiveInstructionFetch
 from repro.experiments.common import ExperimentConfig
 from repro.experiments.fig3 import run_fig3
 from repro.sim.engine import run_multi_prefetch_simulation

@@ -98,3 +98,183 @@ class TestValidation:
 
     def test_empty_engine_list_is_a_noop(self, oltp_trace):
         assert run_multi_prefetch_simulation(oltp_trace.bundle, []) == []
+
+
+# ----------------------------------------------------------------------
+# Kernel differential locks: fast (flat-array walkers, fused engines)
+# vs reference (object-model cache + list protocol) must be
+# bit-identical for every prefetcher and replacement policy.
+
+from repro.core.pif import AccessOrderPIF  # noqa: E402
+from repro.sim.engine import resolve_kernel  # noqa: E402
+
+#: Every engine shape the fast kernel specializes or falls back on:
+#: fused walkers (next-line, stride, discontinuity), hook-driven inline
+#: walker (pif, tifs, none), subclass fallback (AccessOrderPIF must NOT
+#: take the fused path), and both next-line triggers.
+ALL_ENGINES = ("pif", "pif-no-tlsep", "next-line", "next-line-miss",
+               "stride", "discontinuity", "tifs", "none")
+
+
+def build_matrix_engines():
+    engines = [build_engine("pif")
+               if name == "pif" else make_prefetcher(name)
+               for name in ALL_ENGINES]
+    engines.append(AccessOrderPIF(PIFConfig(sab_window_regions=3)))
+    return engines
+
+
+def assert_full_lane_identity(ref, fast):
+    assert ref.prefetcher == fast.prefetcher
+    assert ref.baseline_misses == fast.baseline_misses
+    assert ref.remaining_misses == fast.remaining_misses, ref.prefetcher
+    assert ref.per_level_baseline == fast.per_level_baseline
+    assert ref.per_level_remaining == fast.per_level_remaining, ref.prefetcher
+    assert ref.prefetches_issued == fast.prefetches_issued, ref.prefetcher
+    assert ref.cache_stats == fast.cache_stats, ref.prefetcher
+    assert ref.baseline_stats == fast.baseline_stats
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("replacement", ["lru", "fifo", "random"])
+    def test_every_prefetcher_every_policy(self, oltp_trace, replacement):
+        """The full engine matrix, fast vs reference, one policy at a
+        time — per-lane results and prefetcher counters bit-identical."""
+        config = CacheConfig(capacity_bytes=16 * 1024, associativity=2,
+                             replacement=replacement)
+        ref_engines = build_matrix_engines()
+        fast_engines = build_matrix_engines()
+        ref = run_multi_prefetch_simulation(
+            oltp_trace.bundle, ref_engines, cache_config=config,
+            warmup_fraction=0.4, kernel="reference")
+        fast = run_multi_prefetch_simulation(
+            oltp_trace.bundle, fast_engines, cache_config=config,
+            warmup_fraction=0.4, kernel="fast")
+        for ref_result, fast_result in zip(ref, fast):
+            assert_full_lane_identity(ref_result, fast_result)
+        for ref_engine, fast_engine in zip(ref_engines, fast_engines):
+            assert ref_engine.stats == fast_engine.stats, ref_engine.name
+
+    @pytest.mark.parametrize("associativity,capacity",
+                             [(1, 8 * 1024), (4, 16 * 1024)])
+    def test_generic_walker_geometries(self, oltp_trace, associativity,
+                                       capacity):
+        """Non-2-way geometries take the generic (non-inlined) walker
+        and must still match the reference exactly."""
+        config = CacheConfig(capacity_bytes=capacity,
+                             associativity=associativity)
+        ref = run_multi_prefetch_simulation(
+            oltp_trace.bundle, build_matrix_engines(), cache_config=config,
+            warmup_fraction=0.4, kernel="reference")
+        fast = run_multi_prefetch_simulation(
+            oltp_trace.bundle, build_matrix_engines(), cache_config=config,
+            warmup_fraction=0.4, kernel="fast")
+        for ref_result, fast_result in zip(ref, fast):
+            assert_full_lane_identity(ref_result, fast_result)
+
+    def test_kernel_resolution(self, monkeypatch):
+        assert resolve_kernel(None) == "fast"
+        assert resolve_kernel("reference") == "reference"
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "reference")
+        assert resolve_kernel(None) == "reference"
+        monkeypatch.delenv("REPRO_SIM_KERNEL")
+        with pytest.raises(ValueError):
+            resolve_kernel("vectorized")
+
+    def test_rejects_unknown_kernel(self, oltp_trace):
+        with pytest.raises(ValueError):
+            run_multi_prefetch_simulation(
+                oltp_trace.bundle, [build_engine("next-line")],
+                kernel="sideways")
+
+
+class TestWalkerSelection:
+    """The fast kernel picks the right specialized walker per lane."""
+
+    def test_fused_and_fallback_selection(self):
+        from repro.cache.icache import InstructionCache
+        from repro.sim.engine import (
+            _FUSED_WALKERS,
+            _Lane,
+            _select_walker,
+            _walk_lane_generic,
+            _walk_lane_inline2,
+        )
+
+        def lane_for(prefetcher, config=CACHE):
+            return _Lane(prefetcher, InstructionCache(config), None)
+
+        assert _select_walker(lane_for(make_prefetcher("next-line"))) is \
+            _FUSED_WALKERS[type(make_prefetcher("next-line"))]
+        assert _select_walker(lane_for(make_prefetcher("tifs"))) is \
+            _walk_lane_inline2
+        assert _select_walker(lane_for(build_engine("pif"))) is \
+            _walk_lane_inline2
+        # Subclasses must not inherit a fused walker.
+        assert AccessOrderPIF not in _FUSED_WALKERS
+        # Non-2-way and random policies fall back to the generic walker.
+        four_way = CacheConfig(capacity_bytes=16 * 1024, associativity=4)
+        assert _select_walker(
+            lane_for(make_prefetcher("next-line"), four_way)) is \
+            _walk_lane_generic
+        rand = CacheConfig(capacity_bytes=16 * 1024, associativity=2,
+                           replacement="random")
+        assert _select_walker(
+            lane_for(make_prefetcher("next-line"), rand)) is \
+            _walk_lane_generic
+
+
+class TestListApiOverrides:
+    """A subclass that overrides only the list-returning hook of a
+    native-``_into`` engine must still be honored by the fast kernel
+    (the hook resolver bridges it instead of binding the inherited
+    native ``on_demand_access_into``)."""
+
+    def test_subclass_filter_is_honored(self, oltp_trace):
+        from repro.prefetch.nextline import NextLinePrefetcher
+
+        class EvenOnlyNextLine(NextLinePrefetcher):
+            name = "next-line-even"
+
+            def on_demand_access(self, block, pc, trap_level, hit,
+                                 was_prefetched):
+                candidates = super().on_demand_access(
+                    block, pc, trap_level, hit, was_prefetched)
+                return [b for b in candidates if b % 2 == 0]
+
+        fast = run_prefetch_simulation(
+            oltp_trace.bundle, EvenOnlyNextLine(), cache_config=CACHE,
+            warmup_fraction=0.4)
+        reference = run_multi_prefetch_simulation(
+            oltp_trace.bundle, [EvenOnlyNextLine()], cache_config=CACHE,
+            warmup_fraction=0.4, kernel="reference")[0]
+        plain = run_prefetch_simulation(
+            oltp_trace.bundle, make_prefetcher("next-line"),
+            cache_config=CACHE, warmup_fraction=0.4)
+        # Identical across kernels, and visibly different from the
+        # unfiltered engine (the filter actually ran).
+        assert fast.prefetches_issued == reference.prefetches_issued
+        assert fast.remaining_misses == reference.remaining_misses
+        assert fast.cache_stats == reference.cache_stats
+        assert fast.prefetches_issued < plain.prefetches_issued
+
+    def test_hook_resolver_directions(self):
+        from repro.prefetch.base import demand_access_hook
+        from repro.prefetch.stride import StridePrefetcher
+
+        native = StridePrefetcher()
+        assert demand_access_hook(native) == native.on_demand_access_into
+
+        class Filtered(StridePrefetcher):
+            def on_demand_access(self, block, pc, trap_level, hit,
+                                 was_prefetched):
+                return []
+
+        bridged = demand_access_hook(Filtered())
+        out = []
+        assert bridged(1, 64, 0, False, False, out) == 0
+
+        # An _into-only subclass keeps its native hook (AccessOrderPIF
+        # pattern).
+        engine = AccessOrderPIF(PIFConfig(sab_window_regions=3))
+        assert demand_access_hook(engine) == engine.on_demand_access_into

@@ -101,3 +101,72 @@ class TestOrdering:
         assert comparison["pif"] > 1.0
         assert comparison["perfect"] >= comparison["pif"] - 0.02
         assert comparison["pif"] > comparison["next-line"]
+
+
+class TestKernelEquivalence:
+    """The columnar fast fetch loop vs the preserved object-model loop:
+    every TimingResult field must be identical (the floats are computed
+    by the same arithmetic in the same order, so exact equality holds).
+    """
+
+    def mk(self, name):
+        if name == "pif":
+            from repro.common.config import PIFConfig
+
+            return ProactiveInstructionFetch(PIFConfig(sab_window_regions=3))
+        if name == "none":
+            return None
+        return make_prefetcher(name)
+
+    @pytest.mark.parametrize("engine_name",
+                             ["pif", "next-line", "stride", "discontinuity",
+                              "tifs", "none"])
+    def test_fast_matches_reference(self, web_trace, test_cache_config,
+                                    engine_name):
+        from dataclasses import replace
+
+        system = replace(SystemConfig(), l1i=test_cache_config)
+        reference = run_timing_simulation(
+            web_trace.bundle, self.mk(engine_name), system,
+            warmup_fraction=0.4, kernel="reference")
+        fast = run_timing_simulation(
+            web_trace.bundle, self.mk(engine_name), system,
+            warmup_fraction=0.4, kernel="fast")
+        assert reference == fast
+
+    @pytest.mark.parametrize("kernel", ["fast", "reference"])
+    def test_perfect_cache_identical_across_kernels(self, web_trace,
+                                                    test_cache_config,
+                                                    kernel):
+        from dataclasses import replace
+
+        system = replace(SystemConfig(), l1i=test_cache_config)
+        results = [run_timing_simulation(web_trace.bundle, None, system,
+                                         perfect_cache=True, kernel=k)
+                   for k in ("fast", "reference")]
+        assert results[0] == results[1]
+        assert results[0].stall_cycles == 0.0
+
+    def test_rejects_unknown_kernel(self, web_trace):
+        with pytest.raises(ValueError):
+            run_timing_simulation(web_trace.bundle, None, kernel="warp")
+
+
+class TestPerfectCacheInvariants:
+    """speedup_comparison's contract under perfect_cache=True."""
+
+    def test_ratio_keys_present_and_ordered(self, web_trace,
+                                            test_cache_config):
+        from dataclasses import replace
+
+        system = replace(SystemConfig(), l1i=test_cache_config)
+        comparison = speedup_comparison(
+            web_trace.bundle,
+            {"next-line": make_prefetcher("next-line")},
+            system, warmup_fraction=0.4)
+        assert set(comparison) == {"baseline", "next-line", "perfect"}
+        assert comparison["baseline"] == 1.0
+        # A perfect L1-I never stalls, so it can never lose to the
+        # stall-prone baseline.
+        assert comparison["perfect"] >= comparison["baseline"]
+        assert all(value > 0.0 for value in comparison.values())

@@ -9,8 +9,8 @@ Right panel: a mispredicted conditional injects wrong-path blocks R,S
 between the correct-path accesses A,B and C,D.
 """
 
-from repro.common.config import CacheConfig
 from repro.cache.icache import InstructionCache
+from repro.common.config import CacheConfig
 
 # A 4-set direct-mapped cache, as in the figure.
 FIGURE1_CACHE = CacheConfig(capacity_bytes=4 * 64, associativity=1)
