@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro <command>`` (or the
 ``repro`` console script).
 
-Four commands cover the everyday workflows:
+Five commands cover the everyday workflows:
 
 * ``trace``    — generate a workload trace, print its characterization,
   optionally save it as a ``.npz`` bundle for external tools;
@@ -14,7 +14,13 @@ Four commands cover the everyday workflows:
 * ``traces``   — manage the content-addressed on-disk trace store
   (:mod:`repro.trace.store`): ``build`` pre-generates the experiment
   matrix's bundles (``--jobs N`` fans out per trace), ``ls`` lists what
-  is cached, ``gc`` evicts stale or over-budget archives.
+  is cached, ``gc`` evicts stale or over-budget archives;
+* ``sweep``    — declarative scenario sweeps (:mod:`repro.scenarios`):
+  ``run`` expands a YAML/JSON scenario file into simulation points,
+  batches points sharing a trace into single multi-prefetcher walks,
+  fans out with ``--jobs N``, and checkpoints every completed point so
+  an interrupted sweep *resumes*; ``status`` reports completion;
+  ``report`` renders markdown or CSV summary tables.
 
 The full figure-by-figure evaluation lives in
 ``python -m repro.experiments`` (which takes the same ``--jobs`` flag).
@@ -57,7 +63,9 @@ def _cache(kilobytes: int) -> CacheConfig:
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="oltp-db2",
                         choices=sorted(WORKLOAD_NAMES))
-    parser.add_argument("--instructions", type=int, default=400_000)
+    parser.add_argument("--instructions", type=int, default=400_000,
+                        help="requested trace length per core (retired "
+                             "instructions, not fetch accesses)")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--cache-kb", type=int, default=32,
                         help="L1-I capacity in KB (2-way)")
@@ -85,7 +93,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    """Run one engine over one workload."""
+    """Run one engine over one workload.
+
+    Printed ``miss coverage`` and ``prefetch accuracy`` are percents of
+    baseline misses eliminated / of prefetch fills referenced; the miss
+    counts cover the post-warmup measurement window only.
+    """
     bundle = cached_trace(args.workload, args.instructions, args.seed).bundle
     engine = _engine(args.engine)
     result = run_prefetch_simulation(bundle, engine,
@@ -124,7 +137,12 @@ def _compare_row(task: _CompareTask) -> str:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    """Coverage matrix: chosen engines over all six workloads."""
+    """Coverage matrix: chosen engines over all six workloads.
+
+    Cells are miss coverage — the percent of no-prefetch baseline
+    misses the engine eliminates in the measurement window (signed:
+    a polluting engine prints negative).
+    """
     engines = tuple(args.engines.split(","))
     for name in engines:
         if name not in ENGINE_NAMES:
@@ -274,6 +292,92 @@ def cmd_traces_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_sweep_spec(args: argparse.Namespace):
+    """The scenario a ``sweep`` subcommand operates on.
+
+    ``run`` requires ``--spec``; ``status``/``report`` fall back to the
+    ``scenario.json`` the last ``run`` recorded in the output directory.
+    Returns None (after printing to stderr) when nothing resolves, so
+    callers just exit 2.
+    """
+    from .scenarios import ResultsStore, SpecError, load_spec, parse_spec
+
+    try:
+        if args.spec is not None:
+            return load_spec(args.spec)
+        store = ResultsStore(args.out)
+        try:
+            return parse_spec(store.load_scenario())
+        except FileNotFoundError:
+            print(f"no scenario recorded under {store.root} "
+                  "(run `repro sweep run` first, or pass --spec)",
+                  file=sys.stderr)
+            return None
+    except SpecError as error:
+        print(f"invalid scenario: {error}", file=sys.stderr)
+        return None
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    """Run (or resume) a scenario sweep; exit 0 only when complete.
+
+    ``--limit N`` computes at most N new points this invocation (the
+    sweep stays resumable); ``--jobs N`` fans trace groups out over N
+    processes — stored records are identical for any job count.
+    """
+    from .scenarios import run_sweep
+
+    if args.jobs <= 0:
+        print("--jobs must be positive", file=sys.stderr)
+        return 2
+    if args.limit is not None and args.limit < 0:
+        print("--limit cannot be negative", file=sys.stderr)
+        return 2
+    spec = _load_sweep_spec(args)
+    if spec is None:
+        return 2
+    summary = run_sweep(spec, args.out, jobs=args.jobs, limit=args.limit,
+                        kernel=args.kernel)
+    print(f"{summary.computed} points computed, {summary.skipped} already "
+          f"stored, {summary.remaining} remaining")
+    if not summary.complete():
+        print(f"sweep incomplete; rerun `repro sweep run --spec ... --out "
+              f"{args.out}` to resume", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_sweep_status(args: argparse.Namespace) -> int:
+    """Print completion accounting for a sweep output directory."""
+    from .scenarios import ResultsStore, format_status
+
+    spec = _load_sweep_spec(args)
+    if spec is None:
+        return 2
+    print(format_status(spec, ResultsStore(args.out)))
+    return 0
+
+
+def cmd_sweep_report(args: argparse.Namespace) -> int:
+    """Render the sweep's summary tables (markdown or CSV) to stdout.
+
+    Coverage cells are percents, misses/1K-instr cells are counts per
+    1000 retired instructions, speedup cells are UIPC ratios; the CSV
+    form keeps coverage as a signed fraction for machine consumers.
+    """
+    from .scenarios import ResultsStore, format_csv, format_markdown, summarize
+
+    spec = _load_sweep_spec(args)
+    if spec is None:
+        return 2
+    summary = summarize(spec, ResultsStore(args.out))
+    if args.format == "csv":
+        print(format_csv(summary), end="")
+    else:
+        print(format_markdown(summary), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -291,7 +395,9 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="run one prefetch engine")
     _add_common(simulate)
     simulate.add_argument("--engine", default="pif", choices=ENGINE_NAMES)
-    simulate.add_argument("--warmup", type=float, default=0.4)
+    simulate.add_argument("--warmup", type=float, default=0.4,
+                          help="warmup window as a fraction of trace "
+                               "accesses in [0, 1), not a percent")
     simulate.set_defaults(func=cmd_simulate)
 
     compare = commands.add_parser("compare",
@@ -299,7 +405,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(compare)
     compare.add_argument("--engines", default="next-line,tifs,pif",
                          help="comma-separated engine list")
-    compare.add_argument("--warmup", type=float, default=0.4)
+    compare.add_argument("--warmup", type=float, default=0.4,
+                         help="warmup window as a fraction of trace "
+                              "accesses in [0, 1), not a percent")
     compare.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the workload rows "
                               "(output is identical for any value)")
@@ -348,6 +456,55 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--all", action="store_true",
                     help="clear the store completely")
     gc.set_defaults(func=cmd_traces_gc)
+
+    sweep = commands.add_parser(
+        "sweep", help="run declarative scenario sweeps")
+    sweep_commands = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def _add_out(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--out", required=True,
+                            help="sweep output directory (results store)")
+
+    sweep_run = sweep_commands.add_parser(
+        "run", help="run or resume a scenario sweep")
+    sweep_run.add_argument("--spec", required=True,
+                           help="scenario file (.yaml/.yml/.json); see "
+                                "examples/scenarios/")
+    _add_out(sweep_run)
+    sweep_run.add_argument("--jobs", type=int, default=1,
+                           help="worker processes for the trace-group "
+                                "fan-out (results are identical for any "
+                                "value)")
+    sweep_run.add_argument("--limit", type=int, default=None,
+                           help="compute at most N new points this run "
+                                "(the sweep stays resumable)")
+    sweep_run.add_argument("--kernel", default=None,
+                           choices=("fast", "reference"),
+                           help="simulation kernel (default: "
+                                "$REPRO_SIM_KERNEL or fast; recorded "
+                                "metrics are bit-identical — records "
+                                "differ only in the kernel provenance "
+                                "field)")
+    sweep_run.set_defaults(func=cmd_sweep_run)
+
+    sweep_status = sweep_commands.add_parser(
+        "status", help="show a sweep's completion state")
+    _add_out(sweep_status)
+    sweep_status.add_argument("--spec", default=None,
+                              help="scenario file (default: the "
+                                   "scenario.json recorded by run)")
+    sweep_status.set_defaults(func=cmd_sweep_status)
+
+    sweep_report = sweep_commands.add_parser(
+        "report", help="render a sweep's summary tables")
+    _add_out(sweep_report)
+    sweep_report.add_argument("--spec", default=None,
+                              help="scenario file (default: the "
+                                   "scenario.json recorded by run)")
+    sweep_report.add_argument("--format", default="markdown",
+                              choices=("markdown", "csv"),
+                              help="output format (default: markdown)")
+    sweep_report.set_defaults(func=cmd_sweep_report)
     return parser
 
 

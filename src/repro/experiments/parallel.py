@@ -15,6 +15,11 @@ provides:
 * :func:`parallel_map` — a generic ordered process map for callers that
   are not shaped around :class:`ExperimentConfig` (the CLI's compare
   matrix).
+* :func:`parallel_imap` — the incremental variant: results are yielded
+  as tasks complete (completion order), so callers that checkpoint
+  progress to disk — the scenario sweep runner persisting each finished
+  point — lose at most the in-flight tasks on interruption instead of
+  the whole batch.
 
 Determinism: results are collected in submission order, and every
 :class:`ExperimentPool` grid task carries a
@@ -29,7 +34,8 @@ from __future__ import annotations
 
 import multiprocessing
 import random
-from typing import Any, Callable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (Any, Callable, Iterator, List, NamedTuple, Optional,
+                    Sequence, Tuple)
 
 from ..common.rng import child_seed
 
@@ -134,3 +140,34 @@ def parallel_map(func: Callable[[Any], Any], items: Sequence[Any],
         return [func(item) for item in items]
     with multiprocessing.Pool(processes=jobs) as pool:
         return pool.map(func, items, chunksize=1)
+
+
+def _run_indexed(task: "Tuple[Callable[[Any], Any], int, Any]"
+                 ) -> Tuple[int, Any]:
+    """Worker shim for :func:`parallel_imap`: tag results with their
+    submission index so callers can reorder if they need to."""
+    func, index, item = task
+    return index, func(item)
+
+
+def parallel_imap(func: Callable[[Any], Any], items: Sequence[Any],
+                  jobs: int = 1) -> "Iterator[Tuple[int, Any]]":
+    """Incremental process map: yields ``(index, result)`` pairs.
+
+    With ``jobs=1`` (or a single item) tasks run inline and results
+    arrive in submission order; with ``jobs>1`` they arrive in
+    *completion* order, tagged with the submitting index.  Use this when
+    each finished task should be checkpointed immediately (the scenario
+    sweep runner appends each result to its on-disk store, so a killed
+    run resumes from the last completed task rather than the last
+    completed batch).  ``func`` must be picklable (module-level).
+    """
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    if jobs == 1 or len(items) <= 1:
+        for index, item in enumerate(items):
+            yield index, func(item)
+        return
+    tagged = [(func, index, item) for index, item in enumerate(items)]
+    with multiprocessing.Pool(processes=jobs) as pool:
+        yield from pool.imap_unordered(_run_indexed, tagged, chunksize=1)

@@ -114,9 +114,11 @@ def run_all(config: ExperimentConfig, include_ablations: bool = True,
     return results
 
 
-def main(argv=None) -> int:
-    """CLI entry point."""
+def build_parser() -> argparse.ArgumentParser:
+    """The runner's argument parser (exposed for tests and the README
+    docs check)."""
     parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
         description="Reproduce every figure of 'Proactive Instruction Fetch'")
     parser.add_argument("--quick", action="store_true",
                         help="small traces for a fast smoke run")
@@ -138,6 +140,12 @@ def main(argv=None) -> int:
                         help="print per-figure, per-stage wall-clock "
                              "(trace load / baseline / lane walk / timing "
                              "walk) to stderr")
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.jobs <= 0:

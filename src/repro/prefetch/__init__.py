@@ -25,13 +25,21 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
+#: Every name :func:`make_prefetcher` accepts, in presentation order —
+#: the single source of truth the CLI's engine list and the scenario
+#: registry are checked against (``tests/scenarios``).
+PREFETCHER_NAMES = ("none", "next-line", "next-line-miss", "stride",
+                    "discontinuity", "tifs", "pif", "pif-no-tlsep")
+
+
 def make_prefetcher(name: str, pif_config: Optional[PIFConfig] = None,
                     block_bytes: int = 64) -> Prefetcher:
     """Factory over every engine the experiments compare.
 
-    Names: ``none``, ``next-line``, ``next-line-miss``, ``stride``,
-    ``discontinuity``, ``tifs``, ``pif``, ``pif-no-tlsep`` (PIF without
-    trap-level separation, for the RetireSep ablation).
+    Names (:data:`PREFETCHER_NAMES`): ``none``, ``next-line``,
+    ``next-line-miss``, ``stride``, ``discontinuity``, ``tifs``,
+    ``pif``, ``pif-no-tlsep`` (PIF without trap-level separation, for
+    the RetireSep ablation).
     """
     if name == "none":
         return NullPrefetcher()
@@ -59,6 +67,7 @@ def make_prefetcher(name: str, pif_config: Optional[PIFConfig] = None,
 
 __all__ = [
     "NullPrefetcher",
+    "PREFETCHER_NAMES",
     "PrefetchStats",
     "Prefetcher",
     "as_block_list",

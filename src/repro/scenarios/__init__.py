@@ -1,0 +1,47 @@
+"""Declarative scenario sweeps: describe a study as data, not code.
+
+The scenario subsystem turns a YAML/JSON spec — axes over workloads,
+trace lengths, seeds, cache geometry, replacement policy, engines and
+their parameter grids — into an executed, resumable sweep:
+
+* :mod:`repro.scenarios.spec` — the spec format, validation (errors
+  name the bad key), product/zip expansion into :class:`SweepPoint`
+  values, and the stable content hash each point is keyed by;
+* :mod:`repro.scenarios.engines` — per-engine parameter validation and
+  construction;
+* :mod:`repro.scenarios.results` — the append-only JSONL results store
+  that makes interrupted sweeps resume instead of recompute;
+* :mod:`repro.scenarios.runner` — expansion → batched single-pass
+  multi-prefetcher walks (one walk per trace) → process fan-out, with
+  per-group checkpointing;
+* :mod:`repro.scenarios.report` — status, markdown and CSV summaries.
+
+Checked-in scenarios live in ``examples/scenarios/``; the CLI surface
+is ``repro sweep run|status|report``.  DESIGN.md ("Scenario sweeps")
+documents the schema, the point-hash/resume semantics, and the rule
+that new axes must round-trip through the spec-validation tests.
+"""
+
+from .report import (coverage_matrix, format_csv, format_markdown,
+                     format_status, summarize)
+from .results import ResultsStore
+from .runner import SweepRunSummary, run_sweep
+from .spec import (ScenarioSpec, SpecError, SweepPoint, load_spec,
+                   parse_spec, point_hash)
+
+__all__ = [
+    "ResultsStore",
+    "ScenarioSpec",
+    "SpecError",
+    "SweepPoint",
+    "SweepRunSummary",
+    "coverage_matrix",
+    "format_csv",
+    "format_markdown",
+    "format_status",
+    "load_spec",
+    "parse_spec",
+    "point_hash",
+    "run_sweep",
+    "summarize",
+]

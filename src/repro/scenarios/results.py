@@ -1,0 +1,128 @@
+"""Append-only on-disk results store for scenario sweeps.
+
+One sweep output directory holds two files:
+
+* ``scenario.json`` — the raw spec the sweep was launched with, written
+  (atomically, overwriting) at the start of every ``run`` so ``status``
+  and ``report`` work without the original scenario file;
+* ``results.jsonl`` — one JSON record per *completed* simulation point,
+  appended as each trace group finishes and flushed per line.
+
+Records are keyed by the point's content hash
+(:func:`~repro.scenarios.spec.point_hash`) plus the trace
+generator-version hash (:func:`~repro.trace.store.generator_version_hash`),
+giving the resume semantics: a rerun of the same scenario skips every
+point that already has a record *under the current generator version*
+and recomputes nothing else.  Records written by an older generator are
+ignored (the traces they measured no longer exist) but never deleted —
+the file is append-only, and the newest record per hash wins.
+
+Interrupt tolerance: a sweep killed mid-append leaves at most one
+truncated trailing line; :meth:`ResultsStore.load` drops lines that do
+not parse instead of failing, so the next ``run`` simply recomputes the
+point whose record was lost.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Union
+
+from ..trace.store import generator_version_hash
+
+#: Record field holding the point hash.
+HASH_FIELD = "hash"
+
+#: Record field holding the 12-hex-digit generator-version prefix.
+GENERATOR_FIELD = "generator"
+
+
+def current_generator() -> str:
+    """The generator-version prefix stamped into new records."""
+    return generator_version_hash()[:12]
+
+
+class ResultsStore:
+    """The per-sweep results directory (see module docstring)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    @property
+    def records_path(self) -> Path:
+        return self.root / "results.jsonl"
+
+    @property
+    def scenario_path(self) -> Path:
+        return self.root / "scenario.json"
+
+    # ------------------------------------------------------------------
+
+    def write_scenario(self, raw_spec: Dict[str, Any]) -> None:
+        """Persist the launching spec (atomic replace)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        scratch = self.scenario_path.with_suffix(".json.tmp")
+        scratch.write_text(json.dumps(raw_spec, indent=2, sort_keys=True)
+                           + "\n")
+        scratch.replace(self.scenario_path)
+
+    def load_scenario(self) -> Dict[str, Any]:
+        """The spec ``run`` recorded; raises FileNotFoundError if none."""
+        return json.loads(self.scenario_path.read_text())
+
+    # ------------------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one completed-point record (single write + flush)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.records_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def append_all(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Append several records in one open/flush cycle."""
+        records = list(records)
+        if not records:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.records_path, "a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+            handle.flush()
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """All readable records, newest-wins, keyed by point hash.
+
+        Every generator version's records are returned (callers filter
+        by :data:`GENERATOR_FIELD` as needed); unparseable lines — the
+        truncated tail a killed run leaves — are skipped silently.
+        """
+        records: Dict[str, Dict[str, Any]] = {}
+        try:
+            text = self.records_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return records
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            digest = record.get(HASH_FIELD)
+            if isinstance(digest, str):
+                records[digest] = record
+        return records
+
+    def load_current(self) -> Dict[str, Dict[str, Any]]:
+        """Records stamped with the running generator version only."""
+        generator = current_generator()
+        return {digest: record
+                for digest, record in self.load().items()
+                if record.get(GENERATOR_FIELD) == generator}

@@ -1,0 +1,228 @@
+"""The sweep runner: expand a scenario, simulate what's missing, resume.
+
+Execution strategy, in order of the wins it banks:
+
+1. **Resume before compute.**  The expanded points are checked against
+   the output directory's :class:`~repro.scenarios.results.ResultsStore`
+   first; every point that already has a record under the current
+   trace-generator version is skipped entirely.  An interrupted sweep
+   rerun with the same arguments therefore finishes the remainder
+   instead of starting over, and a finished sweep is a no-op.
+2. **Batch lanes per trace.**  Missing points that share a trace and
+   warmup window — (workload, instructions, seed, core, warmup) — are
+   simulated as lanes of one single-pass multi-prefetcher walk
+   (:func:`repro.sim.engine.run_multi_prefetch_simulation`), each lane
+   carrying its own cache geometry, so a 12-engine-variant sweep costs
+   one trace walk, not twelve.
+3. **Fan out across traces.**  Independent trace groups are distributed
+   over worker processes via
+   :func:`repro.experiments.parallel.parallel_imap`; each group's
+   records are appended to the store the moment the group completes, so
+   a kill loses at most the in-flight groups.
+
+Per-point metrics recorded (units): ``baseline_misses`` and
+``remaining_misses`` are correct-path demand-miss *counts* in the
+post-warmup measurement window; ``coverage`` is the signed fraction of
+baseline misses eliminated (1.0 = all, negative = pollution — not a
+percent); ``baseline_mpki``/``remaining_mpki`` are misses per 1000
+*retired instructions* (whole-trace instruction count, window-restricted
+misses — indicative, as in
+:meth:`repro.sim.tracesim.PrefetchSimResult.baseline_mpki`);
+``prefetches_issued`` counts issues over the whole trace.  With
+``timing: true`` each point also records ``speedup`` — the timing
+model's UIPC ratio against a no-prefetch baseline of the same cache
+geometry (dimensionless, 1.0 = no change).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, NamedTuple, Optional, Tuple,
+                    Union)
+
+from ..common.config import CacheConfig, SystemConfig
+from ..experiments.parallel import parallel_imap
+from ..pipeline.tracegen import cached_trace
+from ..sim.engine import resolve_kernel, run_multi_prefetch_simulation
+from ..sim.timing import run_timing_simulation
+from .engines import build_engine
+from .results import ResultsStore, current_generator
+from .spec import ScenarioSpec, SweepPoint, point_hash
+
+
+@dataclass(slots=True)
+class SweepRunSummary:
+    """Outcome of one :func:`run_sweep` invocation (point counts)."""
+
+    total: int        #: points the scenario expands to
+    skipped: int      #: points already stored (current generator)
+    computed: int     #: points simulated by this invocation
+    remaining: int    #: points still missing afterwards (``--limit`` runs)
+
+    def complete(self) -> bool:
+        """True when every expanded point now has a stored record."""
+        return self.remaining == 0
+
+
+class _GroupTask(NamedTuple):
+    """All missing lanes of one (trace, warmup) group, one walk's worth."""
+
+    workload: str
+    instructions: int
+    seed: int
+    core: int
+    warmup: float
+    kernel: Optional[str]
+    #: (point hash, point) per lane, in spec expansion order.
+    lanes: Tuple[Tuple[str, SweepPoint], ...]
+
+
+def _cache_config(point: SweepPoint) -> CacheConfig:
+    return CacheConfig(capacity_bytes=point.capacity_bytes,
+                       associativity=point.associativity,
+                       block_bytes=point.block_bytes,
+                       replacement=point.replacement)
+
+
+def _run_group(task: _GroupTask) -> List[Dict[str, Any]]:
+    """Simulate one trace group; returns one record per lane.
+
+    Runs inside a worker process under ``--jobs N``; everything it
+    touches is deterministic in the task alone (trace generation is
+    seeded, random replacement uses per-set ``Random(0)``), so records
+    are identical whichever worker runs them.
+    """
+    bundle = cached_trace(task.workload, task.instructions, task.seed,
+                          task.core).bundle
+    engines = [build_engine(point.engine, dict(point.params),
+                            point.block_bytes)
+               for _, point in task.lanes]
+    configs = [_cache_config(point) for _, point in task.lanes]
+    sims = run_multi_prefetch_simulation(
+        bundle, engines, cache_configs=configs,
+        warmup_fraction=task.warmup, kernel=task.kernel)
+
+    timing_baselines: Dict[CacheConfig, float] = {}
+    generator = current_generator()
+    kernel = resolve_kernel(task.kernel)
+    records: List[Dict[str, Any]] = []
+    for (digest, point), config, sim in zip(task.lanes, configs, sims):
+        metrics: Dict[str, Any] = {
+            "baseline_misses": sim.baseline_misses,
+            "remaining_misses": sim.remaining_misses,
+            "coverage": sim.coverage(),
+            "prefetches_issued": sim.prefetches_issued,
+            "baseline_mpki": sim.baseline_mpki(),
+            "remaining_mpki": (
+                1000.0 * sim.remaining_misses / sim.instructions
+                if sim.instructions else 0.0),
+        }
+        if point.timing:
+            system = replace(SystemConfig(), l1i=config)
+            base_uipc = timing_baselines.get(config)
+            if base_uipc is None:
+                base_uipc = run_timing_simulation(
+                    bundle, None, system, task.warmup,
+                    kernel=task.kernel).uipc()
+                timing_baselines[config] = base_uipc
+            # The coverage walk mutated this lane's engine; the timing
+            # model needs a fresh one, exactly as the figure runners do.
+            timed = run_timing_simulation(
+                bundle, build_engine(point.engine, dict(point.params),
+                                     point.block_bytes),
+                system, task.warmup, kernel=task.kernel)
+            metrics["uipc"] = timed.uipc()
+            metrics["speedup"] = (timed.uipc() / base_uipc
+                                  if base_uipc else 0.0)
+        records.append({
+            "hash": digest,
+            "label": point.label,
+            "generator": generator,
+            "kernel": kernel,
+            "point": point.identity(),
+            "metrics": metrics,
+        })
+    return records
+
+
+def missing_points(spec: ScenarioSpec, store: ResultsStore
+                   ) -> Tuple[List[Tuple[str, SweepPoint]], int]:
+    """(points without a current-generator record, count already done)."""
+    done = set(store.load_current())
+    pending: List[Tuple[str, SweepPoint]] = []
+    skipped = 0
+    for point in spec.points():
+        digest = point_hash(point)
+        if digest in done:
+            skipped += 1
+        else:
+            pending.append((digest, point))
+    return pending, skipped
+
+
+def _group_tasks(pending: List[Tuple[str, SweepPoint]],
+                 kernel: Optional[str]) -> List[_GroupTask]:
+    """Group pending points into one task per (trace, warmup) walk,
+    preserving first-seen group order and in-group lane order."""
+    groups: Dict[Tuple[str, int, int, int, float],
+                 List[Tuple[str, SweepPoint]]] = {}
+    for digest, point in pending:
+        key = (point.workload, point.instructions, point.seed, point.core,
+               point.warmup)
+        groups.setdefault(key, []).append((digest, point))
+    return [
+        _GroupTask(workload=key[0], instructions=key[1], seed=key[2],
+                   core=key[3], warmup=key[4], kernel=kernel,
+                   lanes=tuple(lanes))
+        for key, lanes in groups.items()
+    ]
+
+
+def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
+              limit: Optional[int] = None, kernel: Optional[str] = None,
+              log: Optional[Callable[[str], None]] = None
+              ) -> SweepRunSummary:
+    """Run (or resume) ``spec``, persisting results under ``out``.
+
+    ``jobs`` fans trace groups out over worker processes (records are
+    identical for any value); ``limit`` caps the number of *new* points
+    this invocation computes — the standard way to chunk a long sweep
+    or to exercise resume in tests; ``kernel`` forces the simulation
+    kernel (default: ``REPRO_SIM_KERNEL`` or the fast path — recorded
+    metrics are bit-identical either way; records differ only in their
+    kernel provenance field).  ``log`` receives one progress line per
+    completed trace group (default: stderr).
+    """
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    if limit is not None and limit < 0:
+        raise ValueError("limit cannot be negative")
+    resolve_kernel(kernel)  # fail fast on a bad selector
+    emit = log if log is not None else (
+        lambda line: print(line, file=sys.stderr))
+
+    store = ResultsStore(out)
+    store.write_scenario(spec.source)
+    pending, skipped = missing_points(spec, store)
+    total = skipped + len(pending)
+    selected = pending if limit is None else pending[:limit]
+    tasks = _group_tasks(selected, kernel)
+
+    emit(f"sweep {spec.name!r}: {total} points "
+         f"({skipped} stored, {len(selected)} to run in {len(tasks)} "
+         f"trace groups, jobs={jobs})")
+    computed = 0
+    started = time.time()
+    for finished, (index, records) in enumerate(
+            parallel_imap(_run_group, tasks, jobs=jobs), start=1):
+        store.append_all(records)
+        computed += len(records)
+        task = tasks[index]
+        emit(f"  [{finished}/{len(tasks)}] {task.workload} core "
+             f"{task.core} seed {task.seed}: {len(records)} points "
+             f"({time.time() - started:.1f}s elapsed)")
+    return SweepRunSummary(total=total, skipped=skipped, computed=computed,
+                           remaining=len(pending) - len(selected))

@@ -59,3 +59,12 @@ def small_program():
 def test_cache_config():
     """A fresh copy of the test cache configuration."""
     return TEST_CACHE
+
+
+@pytest.fixture(scope="session")
+def repo_root():
+    """The repository checkout root (for checked-in scenario files,
+    README docs checks, and other non-package artifacts)."""
+    from pathlib import Path
+
+    return Path(__file__).resolve().parent.parent

@@ -1,0 +1,73 @@
+"""The append-only JSONL results store: durability and filtering."""
+
+import json
+
+from repro.scenarios.results import ResultsStore, current_generator
+
+
+def record(digest, generator=None, coverage=0.5):
+    return {
+        "hash": digest,
+        "generator": generator or current_generator(),
+        "label": "pif",
+        "point": {"workload": "dss-qry2"},
+        "metrics": {"coverage": coverage},
+    }
+
+
+class TestResultsStore:
+    def test_append_load_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path / "out")
+        store.append(record("a" * 64))
+        store.append_all([record("b" * 64), record("c" * 64)])
+        loaded = store.load()
+        assert set(loaded) == {"a" * 64, "b" * 64, "c" * 64}
+        assert loaded["b" * 64]["metrics"]["coverage"] == 0.5
+
+    def test_newest_record_wins(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append(record("a" * 64, coverage=0.1))
+        store.append(record("a" * 64, coverage=0.9))
+        assert store.load()["a" * 64]["metrics"]["coverage"] == 0.9
+
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        # A killed run leaves at most one partial trailing line; load
+        # must drop it (the point is simply recomputed on resume).
+        store = ResultsStore(tmp_path)
+        store.append(record("a" * 64))
+        store.append(record("b" * 64))
+        text = store.records_path.read_text()
+        store.records_path.write_text(text[:-25])
+        loaded = store.load()
+        assert "a" * 64 in loaded
+        assert "b" * 64 not in loaded
+
+    def test_non_dict_json_lines_are_skipped(self, tmp_path):
+        # Valid JSON that is not an object (null, arrays, bare numbers)
+        # must be tolerated like any other corrupt line, not crash load.
+        store = ResultsStore(tmp_path)
+        store.append(record("a" * 64))
+        with open(store.records_path, "a") as handle:
+            handle.write("null\n[]\n42\n\"text\"\n{\"hash\": 7}\n")
+        assert set(store.load()) == {"a" * 64}
+
+    def test_load_current_filters_stale_generators(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append(record("a" * 64, generator="0" * 12))
+        store.append(record("b" * 64))
+        assert set(store.load()) == {"a" * 64, "b" * 64}
+        assert set(store.load_current()) == {"b" * 64}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultsStore(tmp_path / "nowhere").load() == {}
+
+    def test_scenario_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        raw = {"name": "x", "sweep": {"instructions": 1}}
+        store.write_scenario(raw)
+        assert store.load_scenario() == raw
+        # Overwrite is atomic-replace, no stale scratch file left.
+        store.write_scenario({"name": "y"})
+        assert store.load_scenario() == {"name": "y"}
+        assert json.loads(store.scenario_path.read_text()) == {"name": "y"}
+        assert not store.scenario_path.with_suffix(".json.tmp").exists()

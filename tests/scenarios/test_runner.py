@@ -1,0 +1,266 @@
+"""Sweep execution: equivalence with the hand-written sweeps, resume
+semantics, batching, and determinism across job counts.
+
+The two acceptance locks of the scenario subsystem live here:
+
+* the checked-in ``sab-ablation.yaml`` scenario reproduces
+  :func:`repro.experiments.ablations.run_sab_ablation` **bit-identically**
+  (same floats, not approximately);
+* an interrupted sweep resumed from its results store recomputes
+  nothing and ends with output identical to an uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.ablations import run_sab_ablation
+from repro.experiments.common import ExperimentConfig
+from repro.scenarios import (ResultsStore, coverage_matrix, load_spec,
+                             parse_spec, run_sweep, summarize)
+from repro.scenarios import runner as runner_module
+
+#: Small scale shared by the runner tests (trace generation dominates).
+SMALL = {"workloads": ["dss-qry2"], "instructions": 30_000, "seeds": 3,
+         "cores": 2}
+
+
+def small_spec(**sweep_overrides):
+    sweep = {
+        **SMALL,
+        "cache": {"kb": 16},
+        "engines": ["next-line",
+                    {"name": "pif", "params": {"sab_count": 4,
+                                               "sab_window_regions": 3}}],
+    }
+    sweep.update(sweep_overrides)
+    return parse_spec({"name": "small", "sweep": sweep})
+
+
+quiet = {"log": lambda line: None}
+
+
+class TestEquivalence:
+    def test_sab_scenario_matches_handwritten_ablation(self, repo_root,
+                                                       tmp_path):
+        """The ported scenario file reproduces run_sab_ablation exactly.
+
+        The checked-in spec is experiment scale; the test rescales it
+        through sweep_overrides (same mechanism users get) and runs the
+        hand-written sweep at the matching ExperimentConfig.  Coverage
+        must be bit-identical — both paths feed identical request
+        sequences through the same single-pass engine.
+        """
+        spec = load_spec(
+            repo_root / "examples" / "scenarios" / "sab-ablation.yaml",
+            sweep_overrides={"workloads": ["dss-qry2"],
+                             "instructions": 30_000, "cores": 2})
+        summary = run_sweep(spec, tmp_path / "out", **quiet)
+        assert summary.complete()
+        matrix = coverage_matrix(spec, ResultsStore(tmp_path / "out"))
+
+        config = ExperimentConfig(instructions=30_000, cores=2,
+                                  workloads=("dss-qry2",))
+        ablation = run_sab_ablation(config)
+        assert matrix == ablation.coverage  # bit-identical, not approx
+
+    def test_checked_in_grid_matches_sab_grid(self, repo_root):
+        """The scenario's zipped param grid is exactly ablations.SAB_GRID."""
+        from repro.experiments.ablations import SAB_GRID
+
+        spec = load_spec(
+            repo_root / "examples" / "scenarios" / "sab-ablation.yaml")
+        grids = [
+            (dict(v.params)["sab_count"], dict(v.params)["sab_window_regions"])
+            for v in spec.variants
+        ]
+        assert tuple(grids) == SAB_GRID
+        assert spec.labels() == [f"{c}x{w}" for c, w in SAB_GRID]
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_bit_identical(self, tmp_path,
+                                                     monkeypatch):
+        """Kill mid-sweep (via --limit), rerun, assert no recomputation
+        and byte-identical results to an uninterrupted run."""
+        spec = small_spec()
+        total = len(spec.points())
+        assert total == 4
+
+        # Uninterrupted reference run.
+        ref_dir = tmp_path / "ref"
+        assert run_sweep(spec, ref_dir, **quiet).computed == total
+
+        # Interrupted run: only the first trace group (2 of 4 points).
+        out = tmp_path / "out"
+        first = run_sweep(spec, out, limit=2, **quiet)
+        assert (first.computed, first.remaining) == (2, 2)
+        after_interrupt = ResultsStore(out).records_path.read_text()
+
+        # Resume, counting simulation calls: the stored points must not
+        # be re-simulated.
+        calls = []
+        real = runner_module.run_multi_prefetch_simulation
+
+        def counting(bundle, prefetchers, *args, **kwargs):
+            calls.append(len(prefetchers))
+            return real(bundle, prefetchers, *args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_multi_prefetch_simulation",
+                            counting)
+        second = run_sweep(spec, out, **quiet)
+        assert (second.skipped, second.computed) == (2, 2)
+        assert second.complete()
+        assert sum(calls) == 2  # exactly the missing lanes, one walk
+
+        # The first run's records were appended to, never rewritten.
+        final = ResultsStore(out).records_path.read_text()
+        assert final.startswith(after_interrupt)
+
+        # And the resumed store equals the uninterrupted one record for
+        # record (serial runs: identical bytes, identical order).
+        assert final == ResultsStore(ref_dir).records_path.read_text()
+
+    def test_rerun_of_complete_sweep_is_noop(self, tmp_path):
+        spec = small_spec()
+        run_sweep(spec, tmp_path, **quiet)
+        before = ResultsStore(tmp_path).records_path.read_text()
+        again = run_sweep(spec, tmp_path, **quiet)
+        assert (again.computed, again.skipped) == (0, len(spec.points()))
+        assert ResultsStore(tmp_path).records_path.read_text() == before
+
+    def test_truncated_tail_recomputed_only(self, tmp_path):
+        """A record lost to a mid-write kill is recomputed; intact ones
+        are not."""
+        spec = small_spec()
+        run_sweep(spec, tmp_path, **quiet)
+        store = ResultsStore(tmp_path)
+        lines = store.records_path.read_text().splitlines()
+        store.records_path.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][:20])
+        pending, skipped = runner_module.missing_points(spec, store)
+        assert (len(pending), skipped) == (1, len(spec.points()) - 1)
+        resumed = run_sweep(spec, tmp_path, **quiet)
+        assert (resumed.computed, resumed.skipped) == (
+            1, len(spec.points()) - 1)
+        assert resumed.complete()
+
+    def test_stale_generator_records_recomputed(self, tmp_path):
+        spec = small_spec()
+        run_sweep(spec, tmp_path, **quiet)
+        store = ResultsStore(tmp_path)
+        doctored = []
+        for line in store.records_path.read_text().splitlines():
+            record = json.loads(line)
+            record["generator"] = "0" * 12
+            doctored.append(json.dumps(record))
+        store.records_path.write_text("\n".join(doctored) + "\n")
+        again = run_sweep(spec, tmp_path, **quiet)
+        assert again.computed == len(spec.points())
+        assert again.skipped == 0
+
+
+class TestExecution:
+    def test_jobs_do_not_change_records(self, tmp_path):
+        """Parallel fan-out yields the same record *set* (arrival order
+        may differ, content must not)."""
+        spec = small_spec()
+        run_sweep(spec, tmp_path / "serial", **quiet)
+        run_sweep(spec, tmp_path / "par", jobs=2, **quiet)
+        serial = sorted(
+            ResultsStore(tmp_path / "serial").records_path.read_text()
+            .splitlines())
+        parallel = sorted(
+            ResultsStore(tmp_path / "par").records_path.read_text()
+            .splitlines())
+        assert serial == parallel
+
+    def test_kernels_agree(self, tmp_path):
+        """Reference kernel records identical metrics (kernel field
+        aside) — the differential lock extended to the sweep path."""
+        spec = small_spec(cores=1)
+        run_sweep(spec, tmp_path / "fast", kernel="fast", **quiet)
+        run_sweep(spec, tmp_path / "ref", kernel="reference", **quiet)
+
+        def metrics(root):
+            return {
+                record["hash"]: record["metrics"]
+                for record in map(
+                    json.loads,
+                    ResultsStore(root).records_path.read_text().splitlines())
+            }
+
+        assert metrics(tmp_path / "fast") == metrics(tmp_path / "ref")
+
+    def test_lanes_batch_into_one_walk_per_trace(self, tmp_path,
+                                                 monkeypatch):
+        spec = small_spec()  # 2 engines x 2 cores -> 2 groups of 2 lanes
+        walks = []
+        real = runner_module.run_multi_prefetch_simulation
+
+        def counting(bundle, prefetchers, *args, **kwargs):
+            walks.append(len(prefetchers))
+            return real(bundle, prefetchers, *args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_multi_prefetch_simulation",
+                            counting)
+        run_sweep(spec, tmp_path, **quiet)
+        assert walks == [2, 2]
+
+    def test_timing_records_speedup(self, tmp_path):
+        spec = small_spec(cores=1, timing=True)
+        run_sweep(spec, tmp_path, **quiet)
+        summary = summarize(spec, ResultsStore(tmp_path))
+        assert summary.has_timing
+        for _, cells in summary.rows:
+            for cell in cells.values():
+                assert cell is not None and cell.speedup is not None
+                assert cell.speedup > 0.0
+
+    def test_bad_limit_and_jobs_rejected(self, tmp_path):
+        spec = small_spec()
+        with pytest.raises(ValueError):
+            run_sweep(spec, tmp_path, jobs=0, **quiet)
+        with pytest.raises(ValueError):
+            run_sweep(spec, tmp_path, limit=-1, **quiet)
+
+
+class TestReporting:
+    def test_report_rows_expose_varying_axes(self, tmp_path):
+        spec = small_spec(seeds=[3, 4], cores=1)
+        run_sweep(spec, tmp_path, **quiet)
+        summary = summarize(spec, ResultsStore(tmp_path))
+        assert summary.row_fields == ("workload", "seed")
+        assert [key for key, _ in summary.rows] == [
+            ("dss-qry2", 3), ("dss-qry2", 4)]
+
+    def test_incomplete_sweep_reports_gaps(self, tmp_path):
+        from repro.scenarios import format_markdown, format_status
+
+        spec = small_spec()
+        run_sweep(spec, tmp_path, limit=2, **quiet)
+        summary = summarize(spec, ResultsStore(tmp_path))
+        assert summary.computed == 2 and summary.total == 4
+        rendered = format_markdown(summary)
+        assert "incomplete" in rendered
+        assert "—" in rendered  # the missing cells
+        status = format_status(spec, ResultsStore(tmp_path))
+        assert "missing    2" in status
+        with pytest.raises(ValueError, match="incomplete"):
+            coverage_matrix(spec, ResultsStore(tmp_path))
+
+    def test_csv_round_trips_fraction_values(self, tmp_path):
+        import csv
+        import io
+
+        from repro.scenarios import format_csv
+
+        spec = small_spec(cores=1)
+        run_sweep(spec, tmp_path, **quiet)
+        summary = summarize(spec, ResultsStore(tmp_path))
+        rows = list(csv.DictReader(io.StringIO(format_csv(summary))))
+        assert len(rows) == 2
+        for row in rows:
+            coverage = float(row["coverage"])  # fraction, not percent
+            assert -1.0 <= coverage <= 1.0
+            assert int(row["points"]) == 1

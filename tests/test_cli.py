@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -101,3 +103,75 @@ class TestTracesCommands:
         assert main(["traces", "ls"]) == 2
         assert main(["traces", "gc"]) == 2
         assert main(["traces", "build"]) == 2
+
+
+class TestSweepCommands:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        spec = {
+            "name": "cli-sweep",
+            "sweep": {
+                "workloads": ["dss-qry2"],
+                "instructions": 30_000,
+                "seeds": 3,
+                "cache": {"kb": 16},
+                "engines": ["next-line", "tifs"],
+            },
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_run_status_report_cycle(self, spec_path, tmp_path, capsys):
+        out = str(tmp_path / "out")
+        assert main(["sweep", "run", "--spec", spec_path,
+                     "--out", out]) == 0
+        captured = capsys.readouterr()
+        assert "2 points computed" in captured.out
+
+        assert main(["sweep", "status", "--out", out]) == 0
+        status = capsys.readouterr().out
+        assert "cli-sweep" in status and "complete" in status
+
+        assert main(["sweep", "report", "--out", out]) == 0
+        report = capsys.readouterr().out
+        assert "dss-qry2" in report and "next-line" in report
+        assert "Miss coverage" in report
+
+        assert main(["sweep", "report", "--out", out,
+                     "--format", "csv"]) == 0
+        csv_out = capsys.readouterr().out
+        assert csv_out.startswith("workload,engine,points,coverage")
+
+    def test_run_with_limit_exits_nonzero_until_complete(self, spec_path,
+                                                         tmp_path, capsys):
+        out = str(tmp_path / "out")
+        assert main(["sweep", "run", "--spec", spec_path, "--out", out,
+                     "--limit", "1"]) == 1
+        assert "1 remaining" in capsys.readouterr().out
+        assert main(["sweep", "run", "--spec", spec_path,
+                     "--out", out]) == 0
+        assert "1 already stored" in capsys.readouterr().out
+
+    def test_status_without_run_or_spec_errors(self, tmp_path, capsys):
+        assert main(["sweep", "status", "--out",
+                     str(tmp_path / "nowhere")]) == 2
+        assert "no scenario recorded" in capsys.readouterr().err
+
+    def test_invalid_spec_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "sweep": {
+            "workloads": ["dss-qry2"], "instructions": 1000,
+            "engines": ["boomerang"]}}))
+        assert main(["sweep", "run", "--spec", str(bad),
+                     "--out", str(tmp_path / "out")]) == 2
+        assert "boomerang" in capsys.readouterr().err
+
+    def test_rejects_bad_flags(self, spec_path, tmp_path, capsys):
+        assert main(["sweep", "run", "--spec", spec_path,
+                     "--out", str(tmp_path), "--jobs", "0"]) == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "report", "--out", "x",
+                                       "--format", "xml"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "run", "--out", "x"])
