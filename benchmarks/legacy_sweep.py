@@ -1,0 +1,247 @@
+"""The PR 4 sweep runner, frozen for benchmarking.
+
+``BENCH_5.json``'s headline claim is "the sweep-scale execution engine
+runs the warm-store ``sab-ablation`` sweep ≥2x faster than the PR 4
+runner on the same host".  The replaced runner cannot be timed from git
+history inside a test run, so this module preserves its execution
+machinery verbatim:
+
+* one task per (trace, warmup) group — no lane sharding, no cost-aware
+  ordering (tasks run in first-seen group order);
+* a **fresh** ``multiprocessing.Pool`` per ``parallel_imap`` call, with
+  no worker initializer (the PR 4 fan-out);
+* no baseline-memo sidecar: every group recomputes its baselines;
+* the PR 4 engine: the PIF lanes take the hook-driven
+  ``_walk_lane_inline2`` walker (``on_demand_access_into`` +
+  ``on_retire`` calls per access, spatial/temporal compaction per
+  lane), which :func:`pr4_engine` restores by removing PIF from the
+  fast kernel's fused-walker table;
+* ``REPRO_TRACE_MMAP=off`` in the child process, so trace loads copy
+  instead of mapping.  (Archives in the shared store are v3/flat, which
+  plain-loads *faster* than PR 4's compressed v2 — a deliberate
+  conservative bias in the legacy plane's favour.)
+
+The benchmark asserts the legacy runner produces **record-for-record
+identical** results stores before trusting the timing, so this module
+doubles as an end-to-end differential oracle for the new engine.
+
+Timing runs execute in *spawned* child processes
+(:func:`timed_child_run`) so neither plane inherits the parent's warm
+in-process caches (decoded columns, train plans, baseline memo) — each
+measurement sees exactly the on-disk "warm store, cold process" state a
+fresh ``repro sweep run`` invocation would.  It is benchmark
+scaffolding: nothing under ``src/`` may import it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.common.config import CacheConfig, SystemConfig
+from repro.core.pif import ProactiveInstructionFetch
+from repro.pipeline.tracegen import cached_trace
+from repro.scenarios.engines import build_engine
+from repro.scenarios.results import ResultsStore, current_generator
+from repro.scenarios.runner import missing_points
+from repro.scenarios.spec import ScenarioSpec, SweepPoint, load_spec
+from repro.sim import engine as engine_module
+from repro.sim.engine import resolve_kernel, run_multi_prefetch_simulation
+from repro.sim.timing import run_timing_simulation
+
+
+@contextmanager
+def pr4_engine():
+    """Run with the PR 4 fast kernel: PIF falls back to the hook-driven
+    inline walker (no fused predict side, no train plan).  Pool workers
+    forked inside this context inherit the downgraded walker table."""
+    removed = engine_module._FUSED_WALKERS.pop(ProactiveInstructionFetch,
+                                               None)
+    try:
+        yield
+    finally:
+        if removed is not None:
+            engine_module._FUSED_WALKERS[ProactiveInstructionFetch] = removed
+
+
+class _LegacyGroupTask(NamedTuple):
+    """PR 4's group task: all lanes of one (trace, warmup) group."""
+
+    workload: str
+    instructions: int
+    seed: int
+    core: int
+    warmup: float
+    kernel: Optional[str]
+    lanes: Tuple[Tuple[str, SweepPoint], ...]
+
+
+def _cache_config(point: SweepPoint) -> CacheConfig:
+    return CacheConfig(capacity_bytes=point.capacity_bytes,
+                       associativity=point.associativity,
+                       block_bytes=point.block_bytes,
+                       replacement=point.replacement)
+
+
+def _legacy_run_group(task: _LegacyGroupTask) -> List[Dict[str, Any]]:
+    """PR 4's worker body, verbatim in behaviour: one multi-lane walk,
+    baselines computed in-group, records returned."""
+    from dataclasses import replace
+
+    bundle = cached_trace(task.workload, task.instructions, task.seed,
+                          task.core).bundle
+    engines = [build_engine(point.engine, dict(point.params),
+                            point.block_bytes)
+               for _, point in task.lanes]
+    configs = [_cache_config(point) for _, point in task.lanes]
+    sims = run_multi_prefetch_simulation(
+        bundle, engines, cache_configs=configs,
+        warmup_fraction=task.warmup, kernel=task.kernel)
+
+    timing_baselines: Dict[CacheConfig, float] = {}
+    generator = current_generator()
+    kernel = resolve_kernel(task.kernel)
+    records: List[Dict[str, Any]] = []
+    for (digest, point), config, sim in zip(task.lanes, configs, sims):
+        metrics: Dict[str, Any] = {
+            "baseline_misses": sim.baseline_misses,
+            "remaining_misses": sim.remaining_misses,
+            "coverage": sim.coverage(),
+            "prefetches_issued": sim.prefetches_issued,
+            "baseline_mpki": sim.baseline_mpki(),
+            "remaining_mpki": (
+                1000.0 * sim.remaining_misses / sim.instructions
+                if sim.instructions else 0.0),
+        }
+        if point.timing:
+            system = replace(SystemConfig(), l1i=config)
+            base_uipc = timing_baselines.get(config)
+            if base_uipc is None:
+                base_uipc = run_timing_simulation(
+                    bundle, None, system, task.warmup,
+                    kernel=task.kernel).uipc()
+                timing_baselines[config] = base_uipc
+            timed = run_timing_simulation(
+                bundle, build_engine(point.engine, dict(point.params),
+                                     point.block_bytes),
+                system, task.warmup, kernel=task.kernel)
+            metrics["uipc"] = timed.uipc()
+            metrics["speedup"] = (timed.uipc() / base_uipc
+                                  if base_uipc else 0.0)
+        records.append({
+            "hash": digest,
+            "label": point.label,
+            "generator": generator,
+            "kernel": kernel,
+            "point": point.identity(),
+            "metrics": metrics,
+        })
+    return records
+
+
+def _legacy_group_tasks(pending, kernel) -> List[_LegacyGroupTask]:
+    groups: Dict[Tuple[str, int, int, int, float], List] = {}
+    for digest, point in pending:
+        key = (point.workload, point.instructions, point.seed, point.core,
+               point.warmup)
+        groups.setdefault(key, []).append((digest, point))
+    return [
+        _LegacyGroupTask(workload=key[0], instructions=key[1], seed=key[2],
+                         core=key[3], warmup=key[4], kernel=kernel,
+                         lanes=tuple(lanes))
+        for key, lanes in groups.items()
+    ]
+
+
+def _legacy_run_indexed(task):
+    func, index, item = task
+    return index, func(item)
+
+
+def _legacy_parallel_imap(func, items, jobs: int):
+    """PR 4's incremental map: a fresh pool per call, no initializer.
+
+    The pool is forked explicitly: PR 4 ran on the Linux default (fork),
+    and fork is also what propagates :func:`pr4_engine`'s downgraded
+    walker table into the workers (a spawn pool would re-import the
+    engine and silently time the *fused* walker).
+    """
+    if jobs == 1 or len(items) <= 1:
+        for index, item in enumerate(items):
+            yield index, func(item)
+        return
+    tagged = [(func, index, item) for index, item in enumerate(items)]
+    with multiprocessing.get_context("fork").Pool(processes=jobs) as pool:
+        yield from pool.imap_unordered(_legacy_run_indexed, tagged,
+                                       chunksize=1)
+
+
+def run_pr4_sweep(spec: ScenarioSpec, out, jobs: int = 1) -> int:
+    """PR 4's ``run_sweep``: resume check, group batching, per-call
+    pool fan-out, per-group checkpointing.  Returns points computed."""
+    with pr4_engine():
+        store = ResultsStore(out)
+        store.write_scenario(spec.source)
+        pending, _ = missing_points(spec, store)
+        tasks = _legacy_group_tasks(pending, None)
+        computed = 0
+        for _, (index, records) in enumerate(
+                _legacy_parallel_imap(_legacy_run_group, tasks, jobs=jobs)):
+            store.append_all(records)
+            computed += len(records)
+    return computed
+
+
+# ---------------------------------------------------------------------------
+# Child-process timing harness (spawned: cold in-process caches).
+
+
+def _child_time_sweep(queue, plane: str, spec_path: str, out: str,
+                      jobs: int, store_root: str) -> None:
+    """Entry point for one timed measurement in a spawned child."""
+    # A spawn-created child would itself default to spawn for nested
+    # pools; real CLI runs on Linux fork.  Pin fork so both planes fan
+    # out exactly the way `repro sweep run --jobs N` does.
+    multiprocessing.set_start_method("fork", force=True)
+    os.environ["REPRO_TRACE_STORE"] = store_root
+    if plane == "pr4":
+        os.environ["REPRO_TRACE_MMAP"] = "off"
+    spec = load_spec(spec_path)
+    started = time.perf_counter()
+    if plane == "pr4":
+        computed = run_pr4_sweep(spec, out, jobs=jobs)
+    else:
+        from repro.scenarios import run_sweep
+
+        computed = run_sweep(spec, out, jobs=jobs,
+                             log=lambda line: None).computed
+    queue.put((time.perf_counter() - started, computed))
+
+
+def timed_child_run(plane: str, spec_path: str, out: str, jobs: int,
+                    store_root: str) -> Tuple[float, int]:
+    """Run one sweep in a spawned child; returns (seconds, points).
+
+    ``plane`` is ``"pr4"`` (frozen legacy runner + engine) or ``"new"``
+    (the current sweep-scale execution engine).
+    """
+    context = multiprocessing.get_context("spawn")
+    queue = context.Queue()
+    process = context.Process(
+        target=_child_time_sweep,
+        args=(queue, plane, spec_path, out, jobs, store_root))
+    process.start()
+    try:
+        result = queue.get(timeout=1800)
+    except Exception:
+        process.terminate()
+        raise RuntimeError(f"timed child for plane {plane!r} produced "
+                           "no result") from None
+    process.join()
+    if process.exitcode != 0:
+        raise RuntimeError(f"timed child for plane {plane!r} exited "
+                           f"with {process.exitcode}")
+    return result

@@ -13,14 +13,19 @@ Five commands cover the everyday workflows:
   ``--jobs N`` fans the workload rows out over N processes;
 * ``traces``   — manage the content-addressed on-disk trace store
   (:mod:`repro.trace.store`): ``build`` pre-generates the experiment
-  matrix's bundles (``--jobs N`` fans out per trace), ``ls`` lists what
-  is cached, ``gc`` evicts stale or over-budget archives;
+  matrix's bundles (``--jobs N|auto`` fans out per trace), ``ls`` lists
+  what is cached (``--format json`` for tooling), ``gc`` evicts stale
+  or over-budget archives;
 * ``sweep``    — declarative scenario sweeps (:mod:`repro.scenarios`):
   ``run`` expands a YAML/JSON scenario file into simulation points,
   batches points sharing a trace into single multi-prefetcher walks,
-  fans out with ``--jobs N``, and checkpoints every completed point so
-  an interrupted sweep *resumes*; ``status`` reports completion;
-  ``report`` renders markdown or CSV summary tables.
+  fans out with ``--jobs N|auto`` over the persistent worker pool
+  (sharding wide trace groups), and checkpoints every completed point
+  so an interrupted sweep *resumes*; ``status`` reports completion
+  (``--format json`` for scripts); ``report`` renders markdown or CSV
+  summary tables.
+
+Every ``--jobs`` flag accepts ``auto`` (all CPUs but one, minimum one).
 
 The full figure-by-figure evaluation lives in
 ``python -m repro.experiments`` (which takes the same ``--jobs`` flag).
@@ -29,13 +34,14 @@ The full figure-by-figure evaluation lives in
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import asdict
 from typing import List, NamedTuple, Optional, Tuple
 
 from .common.config import CacheConfig, PIFConfig
 from .core.pif import ProactiveInstructionFetch
-from .experiments.parallel import parallel_map
+from .experiments.parallel import jobs_argument_type, parallel_map
 from .pipeline.tracegen import cached_trace, generate_trace
 from .prefetch import make_prefetcher
 from .sim.engine import run_multi_prefetch_simulation
@@ -48,6 +54,10 @@ from .workloads.spec import WORKLOAD_NAMES
 #: Engine names the CLI accepts (PIF gets the experiment-scale window).
 ENGINE_NAMES = ("none", "next-line", "next-line-miss", "stride",
                 "discontinuity", "tifs", "pif")
+
+
+#: argparse type for ``--jobs``: positive integer or ``auto``.
+_jobs_value = jobs_argument_type
 
 
 def _engine(name: str):
@@ -247,11 +257,40 @@ def cmd_traces_build(args: argparse.Namespace) -> int:
 
 
 def cmd_traces_ls(args: argparse.Namespace) -> int:
-    """List the store's archives, current generator version first."""
+    """List the store's archives, current generator version first.
+
+    ``--format json`` emits one JSON document: store root, running
+    generator version, and an entry list (``state`` is ``current``,
+    ``stale``, or ``foreign``; key fields are null for foreign files) —
+    the machine-readable surface for tooling and CI scripts.
+    """
     store = _store_for(args)
     if store is None:
         return 2
     entries = store.entries()
+    if args.format == "json":
+        payload = {
+            "store": str(store.root),
+            "generator": generator_version_hash()[:12],
+            "total_bytes": sum(entry.size_bytes for entry in entries),
+            "entries": [
+                {
+                    "file": entry.path.name,
+                    "state": ("foreign" if entry.key is None
+                              else "current" if entry.current else "stale"),
+                    "size_bytes": entry.size_bytes,
+                    "workload": entry.key.workload if entry.key else None,
+                    "instructions": (entry.key.instructions
+                                     if entry.key else None),
+                    "seed": entry.key.seed if entry.key else None,
+                    "core": entry.key.core if entry.key else None,
+                    "generator": entry.generator_hash,
+                }
+                for entry in entries
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"store   {store.root}")
     print(f"version {generator_version_hash()[:12]}")
     if not entries:
@@ -348,12 +387,22 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep_status(args: argparse.Namespace) -> int:
-    """Print completion accounting for a sweep output directory."""
-    from .scenarios import ResultsStore, format_status
+    """Print completion accounting for a sweep output directory.
+
+    ``--format json`` emits the same accounting as one JSON document
+    (see :func:`repro.scenarios.report.status_summary` for the fields)
+    so scripts can gate on ``complete``/``missing`` without parsing
+    prose.
+    """
+    from .scenarios import ResultsStore, format_status, status_summary
 
     spec = _load_sweep_spec(args)
     if spec is None:
         return 2
+    if args.format == "json":
+        print(json.dumps(status_summary(spec, ResultsStore(args.out)),
+                         indent=2, sort_keys=True))
+        return 0
     print(format_status(spec, ResultsStore(args.out)))
     return 0
 
@@ -408,9 +457,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--warmup", type=float, default=0.4,
                          help="warmup window as a fraction of trace "
                               "accesses in [0, 1), not a percent")
-    compare.add_argument("--jobs", type=int, default=1,
-                         help="worker processes for the workload rows "
-                              "(output is identical for any value)")
+    compare.add_argument("--jobs", type=_jobs_value, default=1,
+                         help="worker processes for the workload rows, or "
+                              "'auto' for all CPUs but one (output is "
+                              "identical for any value)")
     compare.set_defaults(func=cmd_compare)
 
     traces = commands.add_parser(
@@ -439,12 +489,15 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--cores", type=int, default=None,
                        help="cores (independent traces) per workload "
                             "(default: the experiment config's)")
-    build.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (one trace per task)")
+    build.add_argument("--jobs", type=_jobs_value, default=1,
+                       help="worker processes, one trace per task, or "
+                            "'auto' for all CPUs but one")
     build.set_defaults(func=cmd_traces_build)
 
     ls = trace_commands.add_parser("ls", help="list stored archives")
     _add_store(ls)
+    ls.add_argument("--format", default="text", choices=("text", "json"),
+                    help="output format (json = machine-readable listing)")
     ls.set_defaults(func=cmd_traces_ls)
 
     gc = trace_commands.add_parser(
@@ -471,10 +524,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="scenario file (.yaml/.yml/.json); see "
                                 "examples/scenarios/")
     _add_out(sweep_run)
-    sweep_run.add_argument("--jobs", type=int, default=1,
-                           help="worker processes for the trace-group "
-                                "fan-out (results are identical for any "
-                                "value)")
+    sweep_run.add_argument("--jobs", type=_jobs_value, default=1,
+                           help="worker processes for the task fan-out, or "
+                                "'auto' for all CPUs but one (results are "
+                                "identical for any value; jobs > 1 also "
+                                "shards wide trace groups)")
     sweep_run.add_argument("--limit", type=int, default=None,
                            help="compute at most N new points this run "
                                 "(the sweep stays resumable)")
@@ -493,6 +547,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_status.add_argument("--spec", default=None,
                               help="scenario file (default: the "
                                    "scenario.json recorded by run)")
+    sweep_status.add_argument("--format", default="text",
+                              choices=("text", "json"),
+                              help="output format (json = machine-readable "
+                                   "accounting)")
     sweep_status.set_defaults(func=cmd_sweep_status)
 
     sweep_report = sweep_commands.add_parser(

@@ -20,6 +20,18 @@ provides:
   progress to disk — the scenario sweep runner persisting each finished
   point — lose at most the in-flight tasks on interruption instead of
   the whole batch.
+* :func:`shared_pool` — a *persistent* process pool shared across
+  calls: :func:`parallel_map` and :func:`parallel_imap` draw workers
+  from it instead of spawning a fresh ``multiprocessing.Pool`` per
+  call, so a session running several sweeps (or a sweep that resumes
+  repeatedly) pays worker start-up and trace warm-up once.  Workers run
+  :func:`_attach_worker` at start: the trace-store location and the
+  already-computed generator-version hash are installed so every worker
+  resolves the same archives without re-hashing the generator sources.
+* :func:`resolve_jobs` — the ``--jobs auto`` policy: every CLI that
+  fans out accepts ``auto`` and resolves it here (all CPUs but one, at
+  least one — leaving a core for the parent keeps the incremental
+  checkpoint/append loop responsive).
 
 Determinism: results are collected in submission order, and every
 :class:`ExperimentPool` grid task carries a
@@ -32,12 +44,119 @@ its callers must pass functions that are deterministic on their own.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import os
 import random
 from typing import (Any, Callable, Iterator, List, NamedTuple, Optional,
-                    Sequence, Tuple)
+                    Sequence, Tuple, Union)
 
 from ..common.rng import child_seed
+from ..trace import store as trace_store
+
+
+def resolve_jobs(jobs: Union[int, str, None]) -> int:
+    """Resolve a ``--jobs`` value: ``auto``/None become a worker count
+    derived from ``os.cpu_count()`` (all CPUs but one, minimum one);
+    integers pass through.  Raises ValueError for anything else."""
+    if jobs is None:
+        return _auto_jobs()
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            return _auto_jobs()
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(
+                f"jobs must be a positive integer or 'auto', got {jobs!r}"
+            ) from None
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    return jobs
+
+
+def _auto_jobs() -> int:
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _attach_worker(store_env: Optional[str], generator_hash: str) -> None:
+    """Pool-worker initializer: attach to the parent's trace store.
+
+    Propagates the store location (environment variables survive fork
+    but not necessarily alternative start methods) and pre-seeds the
+    generator-version hash cache, so workers neither re-hash the
+    generator sources nor can disagree with the parent about which
+    archives are current.
+    """
+    if store_env is not None:
+        os.environ[trace_store.STORE_ENV] = store_env
+    trace_store._generator_hash_cache = generator_hash
+
+
+def _initargs() -> Tuple[Optional[str], str]:
+    return (os.environ.get(trace_store.STORE_ENV),
+            trace_store.generator_version_hash())
+
+
+_shared_pool: Optional[multiprocessing.pool.Pool] = None
+_shared_pool_jobs: int = 0
+_shared_pool_attachment: Optional[Tuple[Optional[str], str]] = None
+
+
+def shared_pool(jobs: int) -> multiprocessing.pool.Pool:
+    """The persistent process pool for ``jobs`` workers.
+
+    Created on first use and kept alive for the process; every worker
+    runs :func:`_attach_worker` once at start.  The pool is re-created
+    when a different worker count is requested *or* when the attachment
+    (trace-store location / generator hash) no longer matches what the
+    workers were initialized with — a caller that re-points
+    ``REPRO_TRACE_STORE`` mid-process must never get workers still
+    attached to the old store.  Call :func:`shutdown_shared_pool` to
+    tear it down early — an ``atexit`` hook does so at interpreter
+    exit.
+    """
+    global _shared_pool, _shared_pool_jobs, _shared_pool_attachment
+    if jobs <= 1:
+        raise ValueError("shared_pool needs jobs > 1")
+    attachment = _initargs()
+    if _shared_pool is not None and (
+            _shared_pool_jobs != jobs
+            or _shared_pool_attachment != attachment):
+        shutdown_shared_pool()
+    if _shared_pool is None:
+        _shared_pool = multiprocessing.Pool(
+            processes=jobs, initializer=_attach_worker,
+            initargs=attachment)
+        _shared_pool_jobs = jobs
+        _shared_pool_attachment = attachment
+    return _shared_pool
+
+
+def shutdown_shared_pool() -> None:
+    """Terminate the persistent pool (idempotent)."""
+    global _shared_pool, _shared_pool_jobs, _shared_pool_attachment
+    if _shared_pool is not None:
+        _shared_pool.terminate()
+        _shared_pool.join()
+        _shared_pool = None
+        _shared_pool_jobs = 0
+        _shared_pool_attachment = None
+
+
+atexit.register(shutdown_shared_pool)
+
+
+def jobs_argument_type(text: str) -> int:
+    """argparse ``type=`` adapter for ``--jobs``: a positive integer or
+    ``auto`` (shared by every fan-out CLI so the policy cannot drift)."""
+    import argparse
+
+    try:
+        return resolve_jobs(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 #: Slice function signature: (config, workload) -> picklable payload.
 WorkloadSlice = Callable[[Any, str], Any]
@@ -82,7 +201,9 @@ class ExperimentPool:
         self.jobs = jobs
         self._pool: Optional[multiprocessing.pool.Pool] = None
         if jobs > 1:
-            self._pool = multiprocessing.Pool(processes=jobs)
+            self._pool = multiprocessing.Pool(
+                processes=jobs, initializer=_attach_worker,
+                initargs=_initargs())
 
     def map_workloads(self, func: WorkloadSlice, config: Any
                       ) -> List[Tuple[str, Any]]:
@@ -132,14 +253,14 @@ def parallel_map(func: Callable[[Any], Any], items: Sequence[Any],
     """Ordered process map for ad-hoc grids (e.g. the CLI compare rows).
 
     ``func`` must be picklable (module-level); with ``jobs=1`` this is
-    just ``list(map(func, items))``.
+    just ``list(map(func, items))``.  With ``jobs>1`` the tasks run on
+    the persistent :func:`shared_pool`.
     """
     if jobs <= 0:
         raise ValueError("jobs must be positive")
     if jobs == 1 or len(items) <= 1:
         return [func(item) for item in items]
-    with multiprocessing.Pool(processes=jobs) as pool:
-        return pool.map(func, items, chunksize=1)
+    return shared_pool(jobs).map(func, items, chunksize=1)
 
 
 def _run_indexed(task: "Tuple[Callable[[Any], Any], int, Any]"
@@ -161,6 +282,9 @@ def parallel_imap(func: Callable[[Any], Any], items: Sequence[Any],
     sweep runner appends each result to its on-disk store, so a killed
     run resumes from the last completed task rather than the last
     completed batch).  ``func`` must be picklable (module-level).
+    With ``jobs>1`` the tasks run on the persistent :func:`shared_pool`
+    — repeated calls (sweep after sweep, or a resumed sweep) reuse the
+    same attached workers instead of re-spawning.
     """
     if jobs <= 0:
         raise ValueError("jobs must be positive")
@@ -169,5 +293,5 @@ def parallel_imap(func: Callable[[Any], Any], items: Sequence[Any],
             yield index, func(item)
         return
     tagged = [(func, index, item) for index, item in enumerate(items)]
-    with multiprocessing.Pool(processes=jobs) as pool:
-        yield from pool.imap_unordered(_run_indexed, tagged, chunksize=1)
+    yield from shared_pool(jobs).imap_unordered(_run_indexed, tagged,
+                                                chunksize=1)

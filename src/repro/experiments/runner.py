@@ -33,7 +33,10 @@ from .fig7 import run_fig7
 from .fig8 import run_fig8
 from .fig9 import run_fig9
 from .fig10 import run_fig10
-from .parallel import ExperimentPool
+from .parallel import ExperimentPool, jobs_argument_type
+
+#: argparse type for ``--jobs``: positive integer or ``auto``.
+_jobs_value = jobs_argument_type
 
 #: Figure name -> runner, in the paper's presentation order.
 FIGURE_RUNNERS = {
@@ -127,9 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cores", type=int, default=None,
                         help="cores (independent traces) per workload")
     parser.add_argument("--seed", type=int, default=None, help="root seed")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the per-workload fan-out "
-                             "(tables are identical for any value)")
+    parser.add_argument("--jobs", type=_jobs_value, default=1,
+                        help="worker processes for the per-workload fan-out, "
+                             "or 'auto' for all CPUs but one (tables are "
+                             "identical for any value)")
     parser.add_argument("--no-ablations", action="store_true",
                         help="skip the ablation sweeps")
     parser.add_argument("--figures", default=None,

@@ -23,13 +23,14 @@ that new axes must round-trip through the spec-validation tests.
 """
 
 from .report import (coverage_matrix, format_csv, format_markdown,
-                     format_status, summarize)
-from .results import ResultsStore
+                     format_status, status_summary, summarize)
+from .results import BaselineSidecar, ResultsStore
 from .runner import SweepRunSummary, run_sweep
 from .spec import (ScenarioSpec, SpecError, SweepPoint, load_spec,
                    parse_spec, point_hash)
 
 __all__ = [
+    "BaselineSidecar",
     "ResultsStore",
     "ScenarioSpec",
     "SpecError",
@@ -43,5 +44,6 @@ __all__ = [
     "parse_spec",
     "point_hash",
     "run_sweep",
+    "status_summary",
     "summarize",
 ]

@@ -248,8 +248,18 @@ def format_csv(summary: SweepSummary) -> str:
     return out.getvalue()
 
 
-def format_status(spec: ScenarioSpec, store: ResultsStore) -> str:
-    """Completion accounting for ``repro sweep status``."""
+def status_summary(spec: ScenarioSpec, store: ResultsStore
+                   ) -> Dict[str, Any]:
+    """Completion accounting as a flat, JSON-ready dictionary.
+
+    Fields: ``scenario``, ``store`` (directory path), ``points``
+    (expanded count), ``cores``, ``engine_variants``, ``computed``,
+    ``missing``, ``stale`` (records from an older trace generator —
+    recomputed on the next run), ``foreign`` (records no current spec
+    point produces), and ``complete``.  This is the machine-readable
+    twin of :func:`format_status` (``repro sweep status --format
+    json``).
+    """
     points = spec.points()
     all_records = store.load()
     current = store.load_current()
@@ -258,13 +268,35 @@ def format_status(spec: ScenarioSpec, store: ResultsStore) -> str:
     stale = sum(1 for digest, record in all_records.items()
                 if digest in hashes and digest not in current)
     foreign = sum(1 for digest in all_records if digest not in hashes)
+    return {
+        "scenario": spec.name,
+        "store": str(store.root),
+        "points": len(points),
+        "cores": spec.cores,
+        "engine_variants": len(spec.variants),
+        "computed": done,
+        "missing": len(points) - done,
+        "stale": stale,
+        "foreign": foreign,
+        "complete": done == len(points),
+    }
+
+
+def format_status(spec: ScenarioSpec, store: ResultsStore) -> str:
+    """Completion accounting for ``repro sweep status``."""
+    summary = status_summary(spec, store)
+    points = summary["points"]
+    done = summary["computed"]
+    stale = summary["stale"]
+    foreign = summary["foreign"]
     lines = [
-        f"scenario   {spec.name}",
-        f"store      {store.root}",
-        f"points     {len(points)} "
-        f"({spec.cores} cores x {len(spec.variants)} engine variants)",
+        f"scenario   {summary['scenario']}",
+        f"store      {summary['store']}",
+        f"points     {points} "
+        f"({summary['cores']} cores x {summary['engine_variants']} "
+        "engine variants)",
         f"computed   {done}",
-        f"missing    {len(points) - done}",
+        f"missing    {points - done}",
     ]
     if stale:
         lines.append(f"stale      {stale} (older trace generator; "
@@ -272,6 +304,6 @@ def format_status(spec: ScenarioSpec, store: ResultsStore) -> str:
     if foreign:
         lines.append(f"foreign    {foreign} (records no current spec "
                      "point produces)")
-    lines.append("status     " + ("complete" if done == len(points)
+    lines.append("status     " + ("complete" if summary["complete"]
                                   else "incomplete — rerun to resume"))
     return "\n".join(lines)

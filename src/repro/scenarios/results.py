@@ -1,12 +1,19 @@
 """Append-only on-disk results store for scenario sweeps.
 
-One sweep output directory holds two files:
+One sweep output directory holds three files:
 
 * ``scenario.json`` — the raw spec the sweep was launched with, written
   (atomically, overwriting) at the start of every ``run`` so ``status``
   and ``report`` work without the original scenario file;
 * ``results.jsonl`` — one JSON record per *completed* simulation point,
-  appended as each trace group finishes and flushed per line.
+  appended as each trace group finishes and flushed per line;
+* ``baselines.jsonl`` — the no-prefetch baseline memo sidecar
+  (:class:`BaselineSidecar`): one line per (trace content hash, cache
+  geometry, replacement, warmup) baseline ever computed for this sweep
+  directory, appended as groups finish.  Later runs seed their worker
+  processes from it, so resumed or engine-axis-extended sweeps skip the
+  baseline replays entirely.  Purely an accelerator: deleting the file
+  (or any malformed line in it) only costs recomputation.
 
 Records are keyed by the point's content hash
 (:func:`~repro.scenarios.spec.point_hash`) plus the trace
@@ -27,7 +34,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, Union
+from typing import Any, Dict, Iterable, Tuple, Union
 
 from ..trace.store import generator_version_hash
 
@@ -126,3 +133,83 @@ class ResultsStore:
         return {digest: record
                 for digest, record in self.load().items()
                 if record.get(GENERATOR_FIELD) == generator}
+
+
+class BaselineSidecar:
+    """The baseline-memo sidecar of one sweep directory (see module
+    docstring).  Append-only JSONL, same interrupt tolerance as the
+    results store: unparseable lines are skipped, newest record per key
+    wins (identical by construction anyway).  Each line records the
+    memo key, the baseline payload, and the trace identity tuple
+    ``[workload, instructions, seed, core]`` that produced it, so the
+    runner can attach to each task only the entries for *its* trace."""
+
+    FILENAME = "baselines.jsonl"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    @property
+    def path(self) -> Path:
+        return self.root / self.FILENAME
+
+    def _lines(self):
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (isinstance(record, dict) and isinstance(record.get("key"),
+                                                        str)
+                    and isinstance(record.get("baseline"), dict)):
+                yield record
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """All readable sidecar entries, keyed by baseline memo key."""
+        return {record["key"]: record["baseline"]
+                for record in self._lines()}
+
+    def load_all(self) -> Tuple[Dict[str, Dict[str, Any]],
+                                Dict[tuple, Dict[str, Dict[str, Any]]]]:
+        """(all entries by key, entries grouped by trace tuple) in one
+        file pass — what the sweep runner reads at startup."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        grouped: Dict[tuple, Dict[str, Dict[str, Any]]] = {}
+        for record in self._lines():
+            entries[record["key"]] = record["baseline"]
+            trace = record.get("trace")
+            if isinstance(trace, list) and len(trace) == 4:
+                grouped.setdefault(tuple(trace), {})[record["key"]] = \
+                    record["baseline"]
+        return entries, grouped
+
+    def load_by_trace(self) -> Dict[tuple, Dict[str, Dict[str, Any]]]:
+        """Readable entries grouped by their trace identity tuple
+        (entries without one — foreign tooling, hand edits — are simply
+        not attachable per task; :meth:`load` still seeds them)."""
+        return self.load_all()[1]
+
+    def append_missing(self, entries: Dict[str, Dict[str, Any]],
+                       known: set, trace: tuple) -> int:
+        """Append ``trace``'s entries whose key is not in ``known``
+        (which is updated in place); returns the number appended."""
+        fresh = {key: value for key, value in entries.items()
+                 if key not in known}
+        if not fresh:
+            return 0
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            for key, value in fresh.items():
+                handle.write(json.dumps(
+                    {"key": key, "baseline": value, "trace": list(trace)},
+                    sort_keys=True, separators=(",", ":")) + "\n")
+                known.add(key)
+            handle.flush()
+        return len(fresh)

@@ -9,16 +9,34 @@ Execution strategy, in order of the wins it banks:
    rerun with the same arguments therefore finishes the remainder
    instead of starting over, and a finished sweep is a no-op.
 2. **Batch lanes per trace.**  Missing points that share a trace and
-   warmup window — (workload, instructions, seed, core, warmup) — are
-   simulated as lanes of one single-pass multi-prefetcher walk
+   warmup window — (workload, instructions, seed, core, warmup) —
+   become lanes of one single-pass multi-prefetcher walk
    (:func:`repro.sim.engine.run_multi_prefetch_simulation`), each lane
    carrying its own cache geometry, so a 12-engine-variant sweep costs
    one trace walk, not twelve.
-3. **Fan out across traces.**  Independent trace groups are distributed
-   over worker processes via
-   :func:`repro.experiments.parallel.parallel_imap`; each group's
-   records are appended to the store the moment the group completes, so
-   a kill loses at most the in-flight groups.
+3. **Shard wide groups.**  Under ``jobs > 1`` a group with many lanes
+   (a geometry × engine cross easily reaches dozens) is split into
+   per-shard walks over the same trace (:func:`_shard_tasks`), so a
+   scenario with fewer trace groups than workers still saturates the
+   pool.  Lanes never interact, so shard records are bit-identical to
+   the unsharded walk; the mmap-backed trace store and the per-process
+   decoded-column/train-plan caches keep the per-shard trace cost to
+   page-cache hits.
+4. **Schedule by cost, largest first.**  Tasks are ordered by estimated
+   cost (requested instructions × lane count) so the longest walks
+   start first and the tail of a parallel run stays short.
+5. **Fan out on the persistent pool.**  Tasks are distributed via
+   :func:`repro.experiments.parallel.parallel_imap`, whose workers come
+   from the process-wide persistent pool (attached to the trace store
+   by their initializer); each task's records are appended to the store
+   the moment it completes, so a kill loses at most the in-flight
+   tasks.
+6. **Memoize baselines across points and runs.**  No-prefetch baseline
+   replays are memoized in-process keyed by (trace content hash, cache
+   geometry, replacement, warmup) and persisted to the
+   :class:`~repro.scenarios.results.BaselineSidecar` next to the
+   results store; reruns and resumed sweeps seed their workers from the
+   sidecar and skip the replays.
 
 Per-point metrics recorded (units): ``baseline_misses`` and
 ``remaining_misses`` are correct-path demand-miss *counts* in the
@@ -44,13 +62,18 @@ from typing import (Any, Callable, Dict, List, NamedTuple, Optional, Tuple,
                     Union)
 
 from ..common.config import CacheConfig, SystemConfig
-from ..experiments.parallel import parallel_imap
+from ..experiments.parallel import parallel_imap, shutdown_shared_pool
 from ..pipeline.tracegen import cached_trace
+from ..sim.baseline import export_baseline_memo, seed_baseline_memo
 from ..sim.engine import resolve_kernel, run_multi_prefetch_simulation
 from ..sim.timing import run_timing_simulation
 from .engines import build_engine
-from .results import ResultsStore, current_generator
+from .results import BaselineSidecar, ResultsStore, current_generator
 from .spec import ScenarioSpec, SweepPoint, point_hash
+
+#: Task-count multiple :func:`_shard_tasks` aims for under ``jobs > 1``
+#: (oversubscription smooths unequal task costs across workers).
+SHARD_OVERSUBSCRIPTION = 2
 
 
 @dataclass(slots=True)
@@ -68,7 +91,8 @@ class SweepRunSummary:
 
 
 class _GroupTask(NamedTuple):
-    """All missing lanes of one (trace, warmup) group, one walk's worth."""
+    """All missing lanes of one (trace, warmup) group — or one shard of
+    such a group — one walk's worth."""
 
     workload: str
     instructions: int
@@ -78,6 +102,17 @@ class _GroupTask(NamedTuple):
     kernel: Optional[str]
     #: (point hash, point) per lane, in spec expansion order.
     lanes: Tuple[Tuple[str, SweepPoint], ...]
+    #: Baseline-memo sidecar entries for *this task's trace*, seeded
+    #: into the worker process (None on first runs; see BaselineSidecar).
+    baselines: Optional[Dict[str, Dict[str, Any]]] = None
+
+    def trace_key(self) -> Tuple[str, int, int, int]:
+        """The trace identity tuple sidecar entries are scoped by."""
+        return (self.workload, self.instructions, self.seed, self.core)
+
+    def cost(self) -> int:
+        """Scheduling cost estimate: trace length × lane count."""
+        return self.instructions * len(self.lanes)
 
 
 def _cache_config(point: SweepPoint) -> CacheConfig:
@@ -87,14 +122,19 @@ def _cache_config(point: SweepPoint) -> CacheConfig:
                        replacement=point.replacement)
 
 
-def _run_group(task: _GroupTask) -> List[Dict[str, Any]]:
-    """Simulate one trace group; returns one record per lane.
+def _run_group(task: _GroupTask
+               ) -> Tuple[List[Dict[str, Any]], Dict[str, Dict[str, Any]]]:
+    """Simulate one trace group (or shard); returns (one record per
+    lane, the worker's baseline-memo snapshot for the sidecar).
 
     Runs inside a worker process under ``--jobs N``; everything it
     touches is deterministic in the task alone (trace generation is
     seeded, random replacement uses per-set ``Random(0)``), so records
-    are identical whichever worker runs them.
+    are identical whichever worker runs them — and identical however
+    the group was sharded, because lanes never observe each other.
     """
+    if task.baselines:
+        seed_baseline_memo(task.baselines)
     bundle = cached_trace(task.workload, task.instructions, task.seed,
                           task.core).bundle
     engines = [build_engine(point.engine, dict(point.params),
@@ -145,7 +185,9 @@ def _run_group(task: _GroupTask) -> List[Dict[str, Any]]:
             "point": point.identity(),
             "metrics": metrics,
         })
-    return records
+    # Scoped to this bundle's entries: a persistent worker's memo also
+    # holds other traces' (and other sweeps') baselines.
+    return records, export_baseline_memo(bundle.content_hash())
 
 
 def missing_points(spec: ScenarioSpec, store: ResultsStore
@@ -181,20 +223,57 @@ def _group_tasks(pending: List[Tuple[str, SweepPoint]],
     ]
 
 
+def _shard_tasks(tasks: List[_GroupTask], jobs: int) -> List[_GroupTask]:
+    """Split wide trace groups into lane shards until the task count
+    reaches ``jobs * SHARD_OVERSUBSCRIPTION`` (or nothing is left to
+    split), then order everything largest-estimated-cost first.
+
+    Deterministic: the split sequence depends only on the task list and
+    ``jobs`` (ties broken by original submission order), and shard
+    records are bit-identical to unsharded ones, so sharding can never
+    change what lands in the results store — only how fast it lands.
+    With ``jobs == 1`` the input tasks are returned as-is (submission
+    order), preserving the serial runner's byte-for-byte store layout.
+    """
+    if jobs <= 1:
+        return tasks
+    target = jobs * SHARD_OVERSUBSCRIPTION
+    # Stable working list of [cost, original_index, task] entries.
+    work = [[task.cost(), index, task] for index, task in enumerate(tasks)]
+    while len(work) < target:
+        # Largest task first; original index breaks ties stably.
+        work.sort(key=lambda entry: (-entry[0], entry[1]))
+        for entry in work:
+            if len(entry[2].lanes) > 1:
+                cost, index, task = entry
+                middle = (len(task.lanes) + 1) // 2
+                first = task._replace(lanes=task.lanes[:middle])
+                second = task._replace(lanes=task.lanes[middle:])
+                entry[0] = first.cost()
+                entry[2] = first
+                work.append([second.cost(), index, second])
+                break
+        else:
+            break  # every task is a single lane already
+    work.sort(key=lambda entry: (-entry[0], entry[1]))
+    return [entry[2] for entry in work]
+
+
 def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
               limit: Optional[int] = None, kernel: Optional[str] = None,
               log: Optional[Callable[[str], None]] = None
               ) -> SweepRunSummary:
     """Run (or resume) ``spec``, persisting results under ``out``.
 
-    ``jobs`` fans trace groups out over worker processes (records are
+    ``jobs`` fans tasks out over the persistent worker pool, sharding
+    wide trace groups so the pool stays saturated (records are
     identical for any value); ``limit`` caps the number of *new* points
     this invocation computes — the standard way to chunk a long sweep
     or to exercise resume in tests; ``kernel`` forces the simulation
     kernel (default: ``REPRO_SIM_KERNEL`` or the fast path — recorded
     metrics are bit-identical either way; records differ only in their
     kernel provenance field).  ``log`` receives one progress line per
-    completed trace group (default: stderr).
+    completed task (default: stderr).
     """
     if jobs <= 0:
         raise ValueError("jobs must be positive")
@@ -206,23 +285,46 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
 
     store = ResultsStore(out)
     store.write_scenario(spec.source)
+    sidecar = BaselineSidecar(out)
+    known_baselines, baselines_by_trace = sidecar.load_all()
+    known_keys = set(known_baselines)
+    if known_baselines and jobs == 1:
+        seed_baseline_memo(known_baselines)  # serial: this process walks
     pending, skipped = missing_points(spec, store)
     total = skipped + len(pending)
     selected = pending if limit is None else pending[:limit]
-    tasks = _group_tasks(selected, kernel)
+    groups = _group_tasks(selected, kernel)
+    tasks = _shard_tasks(groups, jobs)
+    if baselines_by_trace and jobs > 1:
+        # Each task ships only its own trace's sidecar entries.
+        tasks = [
+            task._replace(baselines=entries) if (
+                entries := baselines_by_trace.get(task.trace_key()))
+            else task
+            for task in tasks
+        ]
 
     emit(f"sweep {spec.name!r}: {total} points "
          f"({skipped} stored, {len(selected)} to run in {len(tasks)} "
-         f"trace groups, jobs={jobs})")
+         f"tasks over {len(groups)} trace groups, jobs={jobs})")
     computed = 0
     started = time.time()
-    for finished, (index, records) in enumerate(
-            parallel_imap(_run_group, tasks, jobs=jobs), start=1):
-        store.append_all(records)
-        computed += len(records)
-        task = tasks[index]
-        emit(f"  [{finished}/{len(tasks)}] {task.workload} core "
-             f"{task.core} seed {task.seed}: {len(records)} points "
-             f"({time.time() - started:.1f}s elapsed)")
+    try:
+        for finished, (index, (records, baselines)) in enumerate(
+                parallel_imap(_run_group, tasks, jobs=jobs), start=1):
+            store.append_all(records)
+            task = tasks[index]
+            sidecar.append_missing(baselines, known_keys, task.trace_key())
+            computed += len(records)
+            emit(f"  [{finished}/{len(tasks)}] {task.workload} core "
+                 f"{task.core} seed {task.seed}: {len(records)} points "
+                 f"({time.time() - started:.1f}s elapsed)")
+    except BaseException:
+        # The persistent pool has no per-call context manager to cancel
+        # the queued tasks; don't leave abandoned simulations burning
+        # CPU behind an exception (or a Ctrl-C).
+        if jobs > 1:
+            shutdown_shared_pool()
+        raise
     return SweepRunSummary(total=total, skipped=skipped, computed=computed,
                            remaining=len(pending) - len(selected))

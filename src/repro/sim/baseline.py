@@ -147,6 +147,187 @@ def replay_baseline(bundle: TraceBundle,
     return BaselineReplay(hits=hits, stats=stats)
 
 
+# ---------------------------------------------------------------------------
+# Cross-point baseline memoization (sweep-scale execution engine).
+#
+# A no-prefetch baseline depends only on (trace content, cache geometry,
+# replacement policy, warmup window) — nothing a prefetch engine does
+# can change it.  Engine-axis sweeps and lane shards therefore replay
+# identical baselines over and over; `measured_baseline` collapses them
+# to one replay per key per process, and its export/seed helpers let
+# the sweep runner persist entries in an on-disk sidecar next to the
+# results store so later runs (and sibling workers) skip even that.
+
+
+@dataclass(slots=True, frozen=True)
+class MeasuredBaseline:
+    """The derived outcome of one no-prefetch baseline replay.
+
+    Immutable value object: ``stats()`` materializes a fresh
+    :class:`CacheStats` per caller so no consumer can mutate a shared
+    instance.  ``per_level`` maps trap level to measured-window miss
+    count (stored as a sorted tuple so the object is hashable and
+    JSON-stable).
+    """
+
+    misses: int
+    per_level: Tuple[Tuple[int, int], ...]
+    demand_accesses: int
+    demand_hits: int
+    evictions: int
+
+    def stats(self) -> CacheStats:
+        """Whole-trace cache counters, as the replay produced them."""
+        return CacheStats(
+            demand_accesses=self.demand_accesses,
+            demand_hits=self.demand_hits,
+            demand_misses=self.demand_accesses - self.demand_hits,
+            evictions=self.evictions,
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-able form for the on-disk sidecar."""
+        return {
+            "misses": self.misses,
+            "per_level": {str(level): count
+                          for level, count in self.per_level},
+            "demand_accesses": self.demand_accesses,
+            "demand_hits": self.demand_hits,
+            "evictions": self.evictions,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "MeasuredBaseline":
+        """Inverse of :meth:`to_json`; raises KeyError/ValueError on
+        malformed payloads (callers treat those as cache misses)."""
+        per_level = tuple(sorted(
+            (int(level), int(count))
+            for level, count in dict(payload["per_level"]).items()))
+        return cls(misses=int(payload["misses"]), per_level=per_level,
+                   demand_accesses=int(payload["demand_accesses"]),
+                   demand_hits=int(payload["demand_hits"]),
+                   evictions=int(payload["evictions"]))
+
+
+_derivation_hash_cache: Optional[str] = None
+
+
+def baseline_derivation_hash() -> str:
+    """Short digest over this module's source — the replay semantics.
+
+    Folded into every memo key so *persisted* entries (the sweep
+    sidecar) can never outlive the algorithm that derived them: editing
+    the replay code changes the key and stale sidecar lines silently
+    stop matching, exactly like the trace store's generator-version
+    hash.
+    """
+    global _derivation_hash_cache
+    if _derivation_hash_cache is None:
+        import hashlib
+        from pathlib import Path
+
+        _derivation_hash_cache = hashlib.sha256(
+            Path(__file__).read_bytes()).hexdigest()[:8]
+    return _derivation_hash_cache
+
+
+def baseline_memo_key(content_hash: str, config: CacheConfig,
+                      warmup_fraction: float) -> str:
+    """The stable string key a baseline is memoized (and persisted)
+    under: trace content hash + full cache geometry + warmup window +
+    replay-derivation hash."""
+    return (f"{content_hash}:{config.capacity_bytes}:{config.associativity}"
+            f":{config.block_bytes}:{config.replacement}:{warmup_fraction!r}"
+            f":d{baseline_derivation_hash()}")
+
+
+#: Process-wide memo: sidecar-seeded and freshly computed baselines.
+_BASELINE_MEMO: Dict[str, MeasuredBaseline] = {}
+
+
+def measured_baseline(bundle: TraceBundle,
+                      config: Optional[CacheConfig] = None,
+                      warmup_fraction: float = 0.25) -> MeasuredBaseline:
+    """The memoized measured-window baseline for (bundle, config, warmup).
+
+    Lookup order: the bundle's derived-value cache (no hashing needed),
+    then the process-wide memo keyed by trace content hash (hit when a
+    sidecar seeded the entry or another bundle instance computed it),
+    then a real :func:`replay_baseline` pass.  Results are bit-identical
+    to the direct replay in every case — the memo stores only derived
+    counts, and the replay itself stays the single source of truth.
+    """
+    cache_config = config if config is not None else CacheConfig()
+    derived = bundle.derived_cache()
+    local_key = ("baseline", cache_config, warmup_fraction)
+    measured = derived.get(local_key)
+    memo_key = baseline_memo_key(bundle.content_hash(), cache_config,
+                                 warmup_fraction)
+    if measured is not None:
+        # Mirror derived-cache hits into the exportable memo so sidecar
+        # snapshots stay complete even when the bundle was warm.
+        if memo_key not in _BASELINE_MEMO:
+            _BASELINE_MEMO[memo_key] = measured
+        return measured
+    measured = _BASELINE_MEMO.get(memo_key)
+    if measured is None:
+        replay = replay_baseline(bundle, cache_config)
+        misses, per_level = count_measured_misses(bundle, replay.hits,
+                                                  warmup_fraction)
+        measured = MeasuredBaseline(
+            misses=misses,
+            per_level=tuple(sorted(per_level.items())),
+            demand_accesses=replay.stats.demand_accesses,
+            demand_hits=replay.stats.demand_hits,
+            evictions=replay.stats.evictions,
+        )
+        _BASELINE_MEMO[memo_key] = measured
+    derived[local_key] = measured
+    return measured
+
+
+def seed_baseline_memo(entries: Dict[str, Dict[str, object]]) -> int:
+    """Install sidecar entries into the process-wide memo.
+
+    Malformed entries are skipped (the baseline is simply recomputed);
+    returns the number installed.  Existing keys are left untouched —
+    a computed entry and its sidecar copy are identical by construction.
+    """
+    installed = 0
+    for memo_key, payload in entries.items():
+        if memo_key in _BASELINE_MEMO:
+            continue
+        try:
+            _BASELINE_MEMO[memo_key] = MeasuredBaseline.from_json(payload)
+        except (KeyError, TypeError, ValueError):
+            continue
+        installed += 1
+    return installed
+
+
+def export_baseline_memo(content_hash: Optional[str] = None
+                         ) -> Dict[str, Dict[str, object]]:
+    """Snapshot the process-wide memo in sidecar (JSON) form.
+
+    ``content_hash`` scopes the snapshot to one trace's entries (memo
+    keys are prefixed by the trace content hash) — what a sweep task
+    returns, so a long-lived worker never leaks baselines belonging to
+    other traces or other sweeps into a results directory's sidecar.
+    """
+    if content_hash is None:
+        return {memo_key: measured.to_json()
+                for memo_key, measured in _BASELINE_MEMO.items()}
+    prefix = content_hash + ":"
+    return {memo_key: measured.to_json()
+            for memo_key, measured in _BASELINE_MEMO.items()
+            if memo_key.startswith(prefix)}
+
+
+def clear_baseline_memo() -> None:
+    """Drop the process-wide memo (tests and benchmark isolation)."""
+    _BASELINE_MEMO.clear()
+
+
 def count_measured_misses(bundle: TraceBundle, hits: np.ndarray,
                           warmup_fraction: float
                           ) -> Tuple[int, Dict[int, int]]:

@@ -20,7 +20,8 @@ materialized list does not write back into the arrays.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import hashlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,7 +57,8 @@ class TraceBundle:
     __slots__ = ("workload", "core", "seed", "block_bytes", "instructions",
                  "retire_pc", "retire_trap",
                  "access_block", "access_pc", "access_trap",
-                 "access_wrong_path", "_retires_view", "_accesses_view")
+                 "access_wrong_path", "_retires_view", "_accesses_view",
+                 "_derived")
 
     def __init__(self, workload: str, core: int, seed: int,
                  block_bytes: int = DEFAULT_BLOCK_BYTES,
@@ -73,6 +75,7 @@ class TraceBundle:
          self.access_wrong_path) = access_columns(accesses)
         self._retires_view: Optional[List[RetiredInstruction]] = None
         self._accesses_view: Optional[List[FetchAccess]] = None
+        self._derived: Dict[Any, Any] = {}
 
     @classmethod
     def from_columns(cls, workload: str, core: int, seed: int,
@@ -119,6 +122,87 @@ class TraceBundle:
                 self.access_block, self.access_pc, self.access_trap,
                 self.access_wrong_path)
         return self._accesses_view
+
+    # ------------------------------------------------------------------
+    # Derived-value cache (sweep-scale execution engine support).
+
+    def derived_cache(self) -> Dict[Any, Any]:
+        """Per-bundle cache for values derived purely from the columns.
+
+        Consumers (the simulation engine's decoded columns, the PIF
+        train plan, the baseline memo key) store expensive pure
+        derivations here so that lane shards and sweep points replaying
+        the same bundle inside one process compute them once.  Keys are
+        namespaced tuples; the cache lives and dies with the bundle (the
+        trace-generation ``lru_cache`` bounds how many stay resident).
+        """
+        return self._derived
+
+    def decoded_columns(self) -> Tuple[List[int], List[int], List[int],
+                                       List[bool], List[int], List[int]]:
+        """The six columns decoded to plain Python lists, cached.
+
+        Order: (access blocks, access PCs, access trap levels, access
+        wrong-path flags, retire PCs, retire trap levels) — exactly what
+        the lane-walk kernels iterate.  Decoding a few-hundred-thousand
+        element column set costs tens of milliseconds; lane shards of
+        one trace group re-walk the same bundle many times, so the
+        decode is paid once per process.
+        """
+        decoded = self._derived.get("decoded")
+        if decoded is None:
+            decoded = (self.access_block.tolist(), self.access_pc.tolist(),
+                       self.access_trap.tolist(),
+                       self.access_wrong_path.tolist(),
+                       self.retire_pc.tolist(), self.retire_trap.tolist())
+            self._derived["decoded"] = decoded
+        return decoded
+
+    def access_trap_segments(self) -> List[Tuple[int, int, int]]:
+        """Maximal runs of constant access trap level, cached.
+
+        Returns ``[(start, end, trap_level), ...]`` covering the access
+        stream.  Trap transitions are rare (hundreds per trace), so
+        walkers that resolve per-trap-level state can hoist it out of
+        the per-access loop by iterating segments.
+        """
+        segments = self._derived.get("trap_segments")
+        if segments is None:
+            trap = self.access_trap
+            total = len(trap)
+            if total == 0:
+                segments = []
+            else:
+                boundaries = (np.flatnonzero(trap[1:] != trap[:-1]) + 1
+                              ).tolist()
+                starts = [0] + boundaries
+                ends = boundaries + [total]
+                levels = trap[starts].tolist()
+                segments = list(zip(starts, ends, levels))
+            self._derived["trap_segments"] = segments
+        return segments
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest over the raw column bytes plus identity.
+
+        This is the *trace content* part of cross-point memoization keys
+        (the baseline-replay memo): two bundles with equal columns and
+        block size hash identically regardless of how they were loaded,
+        so sidecar entries survive process and run boundaries.
+        """
+        digest = self._derived.get("content_hash")
+        if digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(f"block_bytes={self.block_bytes};"
+                          f"instructions={self.instructions};".encode())
+            for column in (self.retire_pc, self.retire_trap,
+                           self.access_block, self.access_pc,
+                           self.access_trap, self.access_wrong_path):
+                hasher.update(np.ascontiguousarray(column).tobytes())
+                hasher.update(b"|")
+            digest = hasher.hexdigest()
+            self._derived["content_hash"] = digest
+        return digest
 
     # ------------------------------------------------------------------
     # Derived views (vectorized over the columns).

@@ -264,6 +264,8 @@ class TraceStore:
             else:
                 survivors.append(entry)
         removed.extend(self._sweep_scratch())
+        if remove_all:
+            removed.extend(self._sweep_plans())
         if max_bytes is not None:
             occupancy = sum(entry.size_bytes for entry in survivors)
             for entry in reversed(survivors):  # oldest mtime first
@@ -276,6 +278,27 @@ class TraceStore:
 
     #: Scratch files younger than this are assumed to have live writers.
     _SCRATCH_MAX_AGE_SECONDS = 3600.0
+
+    def _sweep_plans(self) -> List[Path]:
+        """Clear the PIF train-plan sidecar directory (``plans/``).
+
+        Plans are keyed by trace *content hash* (see
+        :mod:`repro.sim.trainplan`), so they never go semantically
+        stale — entries for traces that stopped being generated merely
+        become unreachable.  ``gc --all`` clears them with everything
+        else; the default sweep leaves them alone.
+        """
+        plans = self.root / "plans"
+        if not plans.is_dir():
+            return []
+        removed: List[Path] = []
+        for path in plans.glob("*"):
+            try:
+                path.unlink()
+                removed.append(path)
+            except OSError:
+                continue
+        return removed
 
     def _sweep_scratch(self) -> List[Path]:
         """Delete abandoned atomic-write staging files (age-gated so a

@@ -10,8 +10,12 @@ from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig10 import run_fig10
 from repro.experiments.parallel import (
     ExperimentPool,
+    parallel_imap,
     parallel_map,
+    resolve_jobs,
     run_workload_grid,
+    shared_pool,
+    shutdown_shared_pool,
 )
 
 #: Tiny configuration so the process-pool tests stay fast.
@@ -26,6 +30,96 @@ def _workload_tag(config, workload):
 
 def _double(value):
     return 2 * value
+
+
+class TestJobsResolution:
+    def test_integers_pass_through(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("2") == 2
+
+    def test_auto_derives_from_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_jobs("auto") == 7
+        assert resolve_jobs(None) == 7
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_jobs("auto") == 1
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_jobs("AUTO") == 1
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+        with pytest.raises(ValueError):
+            resolve_jobs("many")
+
+
+class TestSharedPool:
+    def test_pool_persists_across_calls(self):
+        try:
+            first = shared_pool(2)
+            again = shared_pool(2)
+            assert first is again
+            # Both generic maps draw from the same persistent pool.
+            assert parallel_map(_double, [1, 2, 3], jobs=2) == [2, 4, 6]
+            assert sorted(parallel_imap(_double, [1, 2, 3], jobs=2)) == [
+                (0, 2), (1, 4), (2, 6)]
+            assert shared_pool(2) is first
+        finally:
+            shutdown_shared_pool()
+
+    def test_resize_recreates(self):
+        try:
+            first = shared_pool(2)
+            resized = shared_pool(3)
+            assert resized is not first
+        finally:
+            shutdown_shared_pool()
+
+    def test_rejects_serial(self):
+        with pytest.raises(ValueError):
+            shared_pool(1)
+
+    def test_workers_attach_to_the_trace_store(self, monkeypatch,
+                                               tmp_path):
+        from repro.trace.store import STORE_ENV
+
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "attached"))
+        try:
+            shutdown_shared_pool()
+            results = parallel_map(_read_store_env, [0, 1], jobs=2)
+            assert set(results) == {str(tmp_path / "attached")}
+        finally:
+            shutdown_shared_pool()
+
+    def test_repointed_store_recreates_the_pool(self, monkeypatch,
+                                                tmp_path):
+        """Re-pointing REPRO_TRACE_STORE mid-process must never leave
+        workers attached to the old store."""
+        from repro.trace.store import STORE_ENV
+
+        try:
+            monkeypatch.setenv(STORE_ENV, str(tmp_path / "first"))
+            first_pool = shared_pool(2)
+            assert set(parallel_map(_read_store_env, [0, 1], jobs=2)) == \
+                {str(tmp_path / "first")}
+            monkeypatch.setenv(STORE_ENV, str(tmp_path / "second"))
+            assert shared_pool(2) is not first_pool
+            assert set(parallel_map(_read_store_env, [0, 1], jobs=2)) == \
+                {str(tmp_path / "second")}
+        finally:
+            shutdown_shared_pool()
+
+
+def _read_store_env(_):
+    import os
+
+    from repro.trace.store import STORE_ENV
+
+    return os.environ.get(STORE_ENV)
 
 
 class TestPlumbing:

@@ -225,6 +225,99 @@ class TestExecution:
             run_sweep(spec, tmp_path, limit=-1, **quiet)
 
 
+class TestSharding:
+    """Lane sharding: wide trace groups split under jobs > 1, records
+    stay bit-identical, scheduling is deterministic largest-first."""
+
+    def wide_spec(self):
+        # One trace group of 8 lanes (4 geometries x 2 engines).
+        return small_spec(cores=1, cache={"kb": [8, 16, 32, 64]})
+
+    def test_shard_tasks_split_and_order(self):
+        from repro.scenarios.runner import _group_tasks, _shard_tasks
+
+        spec = self.wide_spec()
+        pending = [(f"h{i}", point) for i, point in enumerate(spec.points())]
+        groups = _group_tasks(pending, None)
+        assert len(groups) == 1 and len(groups[0].lanes) == 8
+        sharded = _shard_tasks(groups, jobs=2)
+        assert len(sharded) == 4  # jobs * oversubscription
+        assert sorted(len(task.lanes) for task in sharded) == [2, 2, 2, 2]
+        # Deterministic: same input -> same shard list.
+        assert sharded == _shard_tasks(_group_tasks(pending, None), jobs=2)
+        # Largest-estimated-cost first.
+        costs = [task.cost() for task in sharded]
+        assert costs == sorted(costs, reverse=True)
+        # All lanes survive exactly once, serial path untouched.
+        shard_lanes = [lane for task in sharded for lane in task.lanes]
+        assert sorted(digest for digest, _ in shard_lanes) == \
+            sorted(digest for digest, _ in pending)
+        assert _shard_tasks(groups, jobs=1) is groups
+
+    def test_single_lane_tasks_stop_splitting(self):
+        from repro.scenarios.runner import _group_tasks, _shard_tasks
+
+        spec = small_spec(cores=1)  # 1 group x 2 lanes
+        pending = [(f"h{i}", point) for i, point in enumerate(spec.points())]
+        sharded = _shard_tasks(_group_tasks(pending, None), jobs=8)
+        assert len(sharded) == 2  # cannot split below one lane
+
+    def test_sharded_run_matches_serial_records(self, tmp_path):
+        spec = self.wide_spec()
+        run_sweep(spec, tmp_path / "serial", **quiet)
+        run_sweep(spec, tmp_path / "sharded", jobs=3, **quiet)
+        serial = sorted(
+            ResultsStore(tmp_path / "serial").records_path.read_text()
+            .splitlines())
+        sharded = sorted(
+            ResultsStore(tmp_path / "sharded").records_path.read_text()
+            .splitlines())
+        assert serial == sharded
+
+
+class TestBaselineSidecar:
+    def test_sidecar_written_and_reused(self, tmp_path, monkeypatch):
+        """The first run persists baselines; a rerun (resume no-op
+        aside) and a same-directory re-sweep replay zero baselines."""
+        from repro.scenarios import BaselineSidecar
+        from repro.sim import baseline as baseline_module
+
+        spec = small_spec(cores=1)
+        baseline_module.clear_baseline_memo()
+        run_sweep(spec, tmp_path, **quiet)
+        sidecar = BaselineSidecar(tmp_path)
+        entries = sidecar.load()
+        assert entries  # one per (trace, geometry, warmup)
+        for payload in entries.values():
+            assert payload["misses"] >= 0
+
+        # Doctor the store empty so every point recomputes, clear the
+        # in-process memo, and count real replays on the second run.
+        ResultsStore(tmp_path).records_path.unlink()
+        baseline_module.clear_baseline_memo()
+        calls = []
+        real = baseline_module.replay_baseline
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(baseline_module, "replay_baseline", counting)
+        run_sweep(spec, tmp_path, **quiet)
+        assert not calls  # every baseline came from the sidecar
+
+    def test_corrupt_sidecar_lines_are_skipped(self, tmp_path):
+        from repro.scenarios import BaselineSidecar
+
+        spec = small_spec(cores=1)
+        run_sweep(spec, tmp_path, **quiet)
+        sidecar = BaselineSidecar(tmp_path)
+        good = sidecar.load()
+        with open(sidecar.path, "a") as handle:
+            handle.write("{truncated\n[]\n")
+        assert sidecar.load() == good
+
+
 class TestReporting:
     def test_report_rows_expose_varying_axes(self, tmp_path):
         spec = small_spec(seeds=[3, 4], cores=1)

@@ -209,9 +209,14 @@ class TestWalkerSelection:
         assert _select_walker(lane_for(make_prefetcher("tifs"))) is \
             _walk_lane_inline2
         assert _select_walker(lane_for(build_engine("pif"))) is \
-            _walk_lane_inline2
-        # Subclasses must not inherit a fused walker.
+            _FUSED_WALKERS[type(build_engine("pif"))]
+        # Subclasses must not inherit a fused walker (AccessOrderPIF
+        # must fall back to the hook-driven walker, not replay the
+        # retire-order train plan).
         assert AccessOrderPIF not in _FUSED_WALKERS
+        assert _select_walker(lane_for(
+            AccessOrderPIF(PIFConfig(sab_window_regions=3)))) is \
+            _walk_lane_inline2
         # Non-2-way and random policies fall back to the generic walker.
         four_way = CacheConfig(capacity_bytes=16 * 1024, associativity=4)
         assert _select_walker(

@@ -91,6 +91,30 @@ class TestTracesCommands:
         assert code == 0
         assert "removed 2" in capsys.readouterr().out
 
+    def test_ls_format_json(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["traces", "build", "--store", store,
+                     "--workloads", "dss-qry2", "--instructions", "30000",
+                     "--seed", "3", "--cores", "1"]) == 0
+        capsys.readouterr()
+        assert main(["traces", "ls", "--store", store,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"] == store
+        assert len(payload["generator"]) == 12
+        assert len(payload["entries"]) == 1
+        entry = payload["entries"][0]
+        assert entry["workload"] == "dss-qry2"
+        assert entry["state"] == "current"
+        assert entry["instructions"] == 30000
+        assert entry["size_bytes"] > 0
+
+    def test_build_accepts_jobs_auto(self, tmp_path, capsys):
+        code = main(["traces", "build", "--store", str(tmp_path / "s"),
+                     "--workloads", "dss-qry2", "--instructions", "30000",
+                     "--seed", "3", "--cores", "1", "--jobs", "auto"])
+        assert code == 0
+
     def test_build_rejects_unknown_workload(self, tmp_path, capsys):
         code = main(["traces", "build", "--store", str(tmp_path),
                      "--workloads", "spec2017"])
@@ -143,6 +167,33 @@ class TestSweepCommands:
         csv_out = capsys.readouterr().out
         assert csv_out.startswith("workload,engine,points,coverage")
 
+    def test_status_format_json(self, spec_path, tmp_path, capsys):
+        out = str(tmp_path / "out")
+        assert main(["sweep", "run", "--spec", spec_path,
+                     "--out", out, "--jobs", "auto"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "status", "--out", out,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "cli-sweep"
+        assert payload["points"] == 2
+        assert payload["computed"] == 2
+        assert payload["missing"] == 0
+        assert payload["complete"] is True
+
+    def test_status_format_json_incomplete(self, spec_path, tmp_path,
+                                           capsys):
+        out = str(tmp_path / "out")
+        assert main(["sweep", "run", "--spec", spec_path, "--out", out,
+                     "--limit", "1"]) == 1
+        capsys.readouterr()
+        assert main(["sweep", "status", "--out", out,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["computed"] == 1
+        assert payload["missing"] == 1
+        assert payload["complete"] is False
+
     def test_run_with_limit_exits_nonzero_until_complete(self, spec_path,
                                                          tmp_path, capsys):
         out = str(tmp_path / "out")
@@ -168,8 +219,14 @@ class TestSweepCommands:
         assert "boomerang" in capsys.readouterr().err
 
     def test_rejects_bad_flags(self, spec_path, tmp_path, capsys):
-        assert main(["sweep", "run", "--spec", spec_path,
-                     "--out", str(tmp_path), "--jobs", "0"]) == 2
+        # --jobs is validated by argparse now ('auto' or positive int).
+        with pytest.raises(SystemExit) as bad_jobs:
+            main(["sweep", "run", "--spec", spec_path,
+                  "--out", str(tmp_path), "--jobs", "0"])
+        assert bad_jobs.value.code == 2
+        with pytest.raises(SystemExit):
+            main(["sweep", "run", "--spec", spec_path,
+                  "--out", str(tmp_path), "--jobs", "many"])
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "report", "--out", "x",
                                        "--format", "xml"])

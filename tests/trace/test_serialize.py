@@ -1,6 +1,8 @@
-"""On-disk trace format roundtrips and error paths."""
+"""On-disk trace format roundtrips and error paths (v3 mmap + v2
+read-compat)."""
 
 import json
+import zipfile
 
 import numpy as np
 import pytest
@@ -13,6 +15,7 @@ from repro.trace.serialize import (
     TraceFormatError,
     load_bundle,
     load_bundle_extra,
+    mmap_enabled,
     save_bundle,
     save_bundle_atomic,
 )
@@ -78,6 +81,100 @@ class TestRoundtrip:
         assert not list((tmp_path / ".tmp").glob("*"))
         assert sorted(p.name for p in tmp_path.glob("*.npz")) == \
             ["a.npz", "p.npz"]
+
+
+class TestFormatV3:
+    def test_v3_members_are_stored_flat(self, tmp_path):
+        path = save_bundle(small_bundle(), tmp_path / "flat")
+        with zipfile.ZipFile(path) as archive:
+            for info in archive.infolist():
+                assert info.compress_type == zipfile.ZIP_STORED
+
+    def test_v3_loads_as_readonly_memmap(self, tmp_path):
+        path = save_bundle(small_bundle(), tmp_path / "m")
+        loaded = load_bundle(path, mmap=True)
+        # from_columns wraps the memmap in a zero-copy base-class view:
+        # the backing object is the map, and the data stays read-only.
+        assert isinstance(loaded.access_block.base, np.memmap)
+        assert not loaded.access_block.flags.writeable
+        with pytest.raises(ValueError):
+            loaded.access_block[0] = 1
+        assert loaded.retires == small_bundle().retires
+        assert loaded.accesses == small_bundle().accesses
+
+    def test_mmap_off_loads_plain_arrays(self, tmp_path):
+        path = save_bundle(small_bundle(), tmp_path / "p")
+        loaded = load_bundle(path, mmap=False)
+        assert not isinstance(loaded.access_block.base, np.memmap)
+        assert loaded.accesses == small_bundle().accesses
+
+    def test_mmap_env_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_MMAP", raising=False)
+        assert mmap_enabled()
+        monkeypatch.setenv("REPRO_TRACE_MMAP", "off")
+        assert not mmap_enabled()
+        monkeypatch.setenv("REPRO_TRACE_MMAP", "1")
+        assert mmap_enabled()
+
+    def test_empty_columns_mmap(self, tmp_path):
+        bundle = TraceBundle(workload="empty", core=0, seed=0)
+        loaded = load_bundle(save_bundle(bundle, tmp_path / "e"), mmap=True)
+        assert loaded.retires == [] and loaded.accesses == []
+
+    def test_v2_write_and_read_compat(self, tmp_path):
+        """The compressed PR 2 layout stays fully readable (and never
+        maps), and the compat writer really emits version 2."""
+        path = save_bundle(small_bundle(), tmp_path / "v2",
+                           extra={"note": "old"}, format_version=2)
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode())
+        assert meta["version"] == 2
+        with zipfile.ZipFile(path) as archive:
+            kinds = {info.compress_type for info in archive.infolist()}
+        assert zipfile.ZIP_DEFLATED in kinds
+        bundle, extra = load_bundle_extra(path, mmap=True)
+        assert not isinstance(bundle.access_block, np.memmap)
+        assert bundle.retires == small_bundle().retires
+        assert bundle.accesses == small_bundle().accesses
+        assert extra == {"note": "old"}
+
+    def test_unknown_write_version_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_bundle(small_bundle(), tmp_path / "x", format_version=1)
+
+    def test_v3_truncated_member_rejected(self, tmp_path):
+        """A v3 archive whose column payload is cut short (but whose
+        central directory was rebuilt) must be rejected, not mapped."""
+        path = save_bundle(small_bundle(), tmp_path / "t")
+        with zipfile.ZipFile(path) as archive:
+            members = {info.filename: archive.read(info.filename)
+                       for info in archive.infolist()}
+        clipped = tmp_path / "clipped.npz"
+        with zipfile.ZipFile(clipped, "w", zipfile.ZIP_STORED) as archive:
+            for name, payload in members.items():
+                if name == "access_block.npy":
+                    payload = payload[:len(payload) - 4]
+                archive.writestr(name, payload)
+        with pytest.raises(TraceFormatError):
+            load_bundle(clipped, mmap=True)
+
+    def test_v3_meta_claiming_compressed_members_rejected(self, tmp_path):
+        """Version-3 metadata over deflated members cannot be mapped
+        and must fail loudly as a format error."""
+        path = save_bundle(small_bundle(), tmp_path / "c")
+        with zipfile.ZipFile(path) as archive:
+            members = {info.filename: archive.read(info.filename)
+                       for info in archive.infolist()}
+        rezipped = tmp_path / "rezipped.npz"
+        with zipfile.ZipFile(rezipped, "w",
+                             zipfile.ZIP_DEFLATED) as archive:
+            for name, payload in members.items():
+                archive.writestr(name, payload)
+        with pytest.raises(TraceFormatError):
+            load_bundle(rezipped, mmap=True)
+        # With mapping off the same file is perfectly readable.
+        assert load_bundle(rezipped, mmap=False).retires == \
+            small_bundle().retires
 
 
 def _rewrite_meta(path, mutate):

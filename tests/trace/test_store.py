@@ -67,6 +67,40 @@ class TestRoundtrip:
         assert store.get(KEY) is None
         assert not store.path_for(KEY).exists()
 
+    def test_v2_archive_in_store_still_served(self, tmp_path):
+        """A compressed v2 archive placed under the current key (e.g. a
+        store populated before the v3 migration whose generator hash
+        still matches) is read, not healed away."""
+        from repro.trace.serialize import save_bundle_atomic
+
+        store = TraceStore(tmp_path)
+        save_bundle_atomic(
+            bundle_for(KEY), store.path_for(KEY),
+            extra={"store_key": dict(KEY._asdict())}, format_version=2)
+        loaded = store.get(KEY)
+        assert loaded is not None
+        assert loaded[0].workload == KEY.workload
+        assert np.array_equal(loaded[0].retire_pc,
+                              bundle_for(KEY).retire_pc)
+
+    def test_new_archives_memory_map(self, tmp_path):
+        """Store puts write v3; gets map the columns read-only."""
+        store = TraceStore(tmp_path)
+        store.put(KEY, bundle_for(KEY))
+        bundle, _ = store.get(KEY)
+        assert isinstance(bundle.access_block.base, np.memmap)
+        assert not bundle.access_block.flags.writeable
+
+    def test_truncated_archive_heals_to_miss(self, tmp_path):
+        """A store archive cut mid-file (lost central directory) is
+        removed and reported as a miss, like any corrupt entry."""
+        store = TraceStore(tmp_path)
+        path = store.put(KEY, bundle_for(KEY))
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        assert store.get(KEY) is None
+        assert not path.exists()
+
     def test_misplaced_archive_wrong_instruction_scale_is_a_miss(
             self, tmp_path):
         """An archive renamed to a different-instructions path must not
