@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — reprolint without the repro CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from .runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

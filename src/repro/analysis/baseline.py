@@ -1,0 +1,80 @@
+"""The committed findings baseline (``reprolint-baseline.json``).
+
+Grandfathered findings live in a JSON file keyed by each finding's
+content digest — file path + rule code + the stripped source line +
+an occurrence index — so unrelated edits that merely shift line
+numbers never churn the file.  Alongside the digest each entry
+repeats the human-readable (code, file, context) triple, purely so
+reviewers can see *what* was grandfathered in the diff.
+
+The contract is two-sided: a non-baselined finding fails the run, and
+a baseline entry whose finding no longer exists fails it too (the
+debt was paid — the entry must be deleted, via ``--update-baseline``
+or by hand).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from .core import Finding
+
+#: Default baseline filename, resolved against the lint root.
+BASELINE_NAME = "reprolint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used (malformed JSON or
+    an unknown format version) — a usage error, not a finding."""
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, object]]:
+    """digest -> entry mapping from ``path`` (empty if absent)."""
+    if not path.is_file():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"unreadable baseline {path}: {error}") \
+            from error
+    if not isinstance(payload, dict) \
+            or payload.get("version") != _FORMAT_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported format "
+            f"(expected version {_FORMAT_VERSION})")
+    entries = payload.get("entries", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'entries' must be a list")
+    loaded: Dict[str, Dict[str, object]] = {}
+    for entry in entries:
+        if not isinstance(entry, dict) or "digest" not in entry:
+            raise BaselineError(
+                f"baseline {path}: every entry needs a 'digest'")
+        loaded[str(entry["digest"])] = entry
+    return loaded
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Serialize ``findings`` as the new baseline; returns the count.
+
+    Entries are sorted by (file, code, context, occurrence) so the
+    file diffs stably regardless of discovery order.
+    """
+    entries: List[Dict[str, object]] = []
+    for finding in sorted(
+            findings, key=lambda f: (f.path, f.code, f.context,
+                                     f.occurrence)):
+        entries.append({
+            "digest": finding.digest(),
+            "code": finding.code,
+            "file": finding.path,
+            "context": finding.context,
+        })
+    payload = {"version": _FORMAT_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False)
+                    + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,267 @@
+"""Code-quality and hot-path rules: RL005-RL008.
+
+RL005/RL007 are correctness hygiene (shared mutable defaults, contract
+errors swallowed on the floor); RL006/RL008 protect the measured
+kernels — allocation churn inside ``# reprolint: hot`` loops, and
+float drift on counters the paper defines as integral event counts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from .core import FileContext, Finding, Rule, dotted_name, register
+
+#: Constructors whose zero-or-more-arg call produces a fresh mutable
+#: container (used by both RL005 and RL006).
+_CONTAINER_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "deque", "defaultdict", "OrderedDict", "Counter",
+    "collections.deque", "collections.defaultdict",
+    "collections.OrderedDict", "collections.Counter",
+})
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RL005: mutable default argument values.
+
+    The default is evaluated once at ``def`` time and shared across
+    every call — state leaks between invocations (and between pool
+    tasks reusing a worker).  Use ``None`` and materialize inside the
+    body.
+    """
+
+    code = "RL005"
+    name = "mutable-default-argument"
+    summary = "mutable default argument (shared across calls)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults
+                            if d is not None)
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    yield ctx.finding(
+                        self.code, default,
+                        "mutable default is shared across calls; default "
+                        "to None and build a fresh one in the body")
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _CONTAINER_CALLS
+    return False
+
+
+@register
+class HotLoopAllocationRule(Rule):
+    """RL006: fresh containers allocated inside hot-marked loops.
+
+    Only functions carrying a ``# reprolint: hot`` marker are checked —
+    the fused lane walkers and timing/baseline replay kernels whose
+    per-access cost the BENCH files measure.  Inside their loops, any
+    list/set/dict display, comprehension, generator expression, or
+    container constructor call is an allocation per iteration (or per
+    element) and gets flagged; hoist it out of the loop or suppress
+    with a rationale when the allocation is intentionally amortized.
+    """
+
+    code = "RL006"
+    name = "hot-loop-allocation"
+    summary = "container allocation inside a loop of a '# reprolint: hot' fn"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not any(span.hot for span in ctx.function_spans):
+            return
+        findings: List[Finding] = []
+        self._visit(ctx, ctx.tree, hot=False, in_loop=False, out=findings)
+        yield from findings
+
+    def _visit(self, ctx: FileContext, node: ast.AST, hot: bool,
+               in_loop: bool, out: List[Finding]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            span_hot = hot or any(
+                span.hot and span.start == node.lineno
+                for span in ctx.function_spans)
+            for default in node.args.defaults:
+                self._visit(ctx, default, hot, in_loop, out)
+            for child in node.body:
+                self._visit(ctx, child, span_hot, False, out)
+            return
+        if isinstance(node, ast.Lambda):
+            self._visit(ctx, node.body, hot, False, out)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._visit(ctx, node.iter, hot, in_loop, out)
+            for child in node.body:
+                self._visit(ctx, child, hot, True, out)
+            for child in node.orelse:
+                self._visit(ctx, child, hot, in_loop, out)
+            return
+        if isinstance(node, ast.While):
+            # The test re-evaluates every iteration, same as the body.
+            self._visit(ctx, node.test, hot, True, out)
+            for child in node.body:
+                self._visit(ctx, child, hot, True, out)
+            for child in node.orelse:
+                self._visit(ctx, child, hot, in_loop, out)
+            return
+        if hot and in_loop and _is_allocation(node):
+            out.append(ctx.finding(
+                self.code, node,
+                "container allocated inside a hot loop; hoist it out or "
+                "suppress with a rationale if rebuilds are amortized"))
+        for child in ast.iter_child_nodes(node):
+            self._visit(ctx, child, hot, in_loop, out)
+
+
+def _is_allocation(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _CONTAINER_CALLS
+    return False
+
+
+#: Exception names whose silent swallowing hides contract violations:
+#: a trace that stopped parsing, or a scenario spec that stopped
+#: validating, must surface or self-heal — never vanish.
+_CONTRACT_ERRORS = frozenset({"TraceFormatError", "SpecError"})
+
+#: Calls that count as self-healing inside a contract-error handler
+#: (the store deletes the corrupt archive and reports a miss).
+_SELF_HEAL_CALLS = frozenset({"unlink", "remove", "rmtree", "heal"})
+
+
+@register
+class SwallowedContractErrorRule(Rule):
+    """RL007: ``except TraceFormatError/SpecError`` with no re-raise
+    and no self-heal.
+
+    Catching these to log-and-continue turns a hard contract violation
+    into silent result corruption.  Handlers must re-raise (possibly
+    wrapped) or self-heal (delete the corrupt artifact so the miss path
+    regenerates it); anything else needs an explicit suppression
+    explaining why the boundary may absorb the error (e.g. the CLI
+    converting it to an exit code).
+    """
+
+    code = "RL007"
+    name = "swallowed-contract-error"
+    summary = "TraceFormatError/SpecError caught without re-raise/self-heal"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _caught_contract_errors(node.type)
+            if not caught:
+                continue
+            if _handler_reraises_or_heals(node):
+                continue
+            yield ctx.finding(
+                self.code, node,
+                f"{'/'.join(sorted(caught))} swallowed without re-raise "
+                "or self-heal; contract violations must surface or "
+                "repair the artifact")
+
+
+def _caught_contract_errors(type_node: ast.AST) -> Tuple[str, ...]:
+    names: List[str] = []
+    candidates: List[ast.AST] = []
+    if isinstance(type_node, ast.Tuple):
+        candidates = list(type_node.elts)
+    elif type_node is not None:
+        candidates = [type_node]
+    for candidate in candidates:
+        name = dotted_name(candidate)
+        if name is not None and name.split(".")[-1] in _CONTRACT_ERRORS:
+            names.append(name.split(".")[-1])
+    return tuple(names)
+
+
+def _handler_reraises_or_heals(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None \
+                    and name.split(".")[-1] in _SELF_HEAL_CALLS:
+                return True
+    return False
+
+
+#: Name components identifying an event counter the paper model keeps
+#: integral (misses, prefetch issues, evictions, ...).
+_COUNTER_WORDS = frozenset({
+    "accesses", "allocations", "count", "counts", "counter", "discarded",
+    "drops", "emitted", "evictions", "fills", "hits", "insertions",
+    "issued", "lookups", "misses", "prefetches", "recorded", "requests",
+    "retired", "triggers",
+})
+
+
+@register
+class FloatCounterRule(Rule):
+    """RL008: float accumulation on integral event counters.
+
+    The paper's figures are ratios of integer event counts (misses,
+    prefetches issued, evictions).  Accumulating them as floats invites
+    drift: ``+= 1.0`` a few billion times stops being exact, and two
+    hosts summing in different order stop agreeing.  Flags ``+=``/
+    ``-=`` with a float literal on names that look like counters, in
+    stats-bearing package modules.
+    """
+
+    code = "RL008"
+    name = "float-counter-accumulation"
+    summary = "float += on an integral event counter in a stats path"
+    scope = ("sim/", "cache/", "core/", "prefetch/", "trace/",
+             "scenarios/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            target_name = _augassign_target_name(node.target)
+            if target_name is None or not _looks_like_counter(target_name):
+                continue
+            if _contains_float_literal(node.value):
+                yield ctx.finding(
+                    self.code, node,
+                    f"'{target_name}' looks like an event counter; "
+                    "accumulate it as int (float increments drift and "
+                    "break cross-host equality)")
+
+
+def _augassign_target_name(target: ast.AST) -> Optional[str]:
+    name = None
+    if isinstance(target, ast.Name):
+        name = target.id
+    elif isinstance(target, ast.Attribute):
+        name = target.attr
+    return name
+
+
+def _looks_like_counter(name: str) -> bool:
+    parts = name.lower().split("_")
+    return any(part in _COUNTER_WORDS for part in parts)
+
+
+def _contains_float_literal(value: ast.AST) -> bool:
+    return any(isinstance(node, ast.Constant)
+               and isinstance(node.value, float)
+               for node in ast.walk(value))

@@ -1,0 +1,117 @@
+"""Comment directives: ``# reprolint: disable=...`` and ``# reprolint: hot``.
+
+Two directives exist, both parsed from real tokenizer output (so
+string literals that merely *look* like comments never match):
+
+``# reprolint: disable=RL001[,RL002] [- rationale]``
+    Suppresses the listed codes.  Written inline it covers its own
+    line; written standalone (nothing but the comment on the line) it
+    covers the next line too, for statements with no room left.  A
+    free-form rationale after ``-`` is encouraged and ignored by the
+    parser.  Suppressions that never fire are themselves reported
+    (:data:`~repro.analysis.core.META_CODE`), so stale ones cannot
+    accumulate.
+
+``# reprolint: hot``
+    Marks the function defined on this line (inline) or the next
+    (standalone) as a hot path, opting it into RL006's
+    allocation-in-loop check.  A marker that attaches to no function
+    is reported as unused.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*(?P<body>.*)$")
+_DISABLE = re.compile(
+    r"disable=(?P<codes>RL\d{3}(?:\s*,\s*RL\d{3})*)\s*(?:-.*)?$")
+_HOT = re.compile(r"^hot\s*(?:-.*)?$")
+
+
+@dataclass(frozen=True)
+class DirectiveError:
+    """A ``# reprolint:`` comment whose body parses as neither
+    ``disable=`` nor ``hot`` — reported rather than silently ignored,
+    because a typo'd directive is a suppression that never was."""
+
+    line: int
+    body: str
+
+
+@dataclass
+class Directives:
+    """Parsed reprolint directives for one file."""
+
+    #: covered line -> codes suppressed there (standalone directives
+    #: already expanded to also cover the following line).
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: directive line -> codes written there (for unused tracking).
+    sites: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    #: directive line -> lines its suppression covers.
+    site_coverage: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    #: lines carrying a ``hot`` marker.
+    hot_lines: Tuple[int, ...] = ()
+    errors: List[DirectiveError] = field(default_factory=list)
+
+
+def scan_comments(source: str) -> List[Tuple[int, str, bool]]:
+    """All comments as (line, text, standalone) triples.
+
+    ``standalone`` is True when the comment is the only thing on its
+    physical line.  Tokenization errors are swallowed — the caller has
+    already parsed the file with :mod:`ast`, so anything fatal was
+    reported there.
+    """
+    comments: List[Tuple[int, str, bool]] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            line_number, column = token.start
+            prefix = token.line[:column]
+            comments.append(
+                (line_number, token.string, not prefix.strip()))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def parse_directives(source: str) -> Directives:
+    """Extract every reprolint directive from ``source``."""
+    parsed = Directives()
+    suppressions: Dict[int, set] = {}
+    sites: Dict[int, set] = {}
+    hot_lines: List[int] = []
+    for line, text, standalone in scan_comments(source):
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        disable = _DISABLE.match(body)
+        if disable is not None:
+            codes = {code.strip()
+                     for code in disable.group("codes").split(",")}
+            covered = (line, line + 1) if standalone else (line,)
+            sites.setdefault(line, set()).update(codes)
+            previous = parsed.site_coverage.get(line, ())
+            parsed.site_coverage[line] = tuple(
+                sorted(set(previous) | set(covered)))
+            for target in covered:
+                suppressions.setdefault(target, set()).update(codes)
+            continue
+        if _HOT.match(body):
+            hot_lines.append(line)
+            continue
+        parsed.errors.append(DirectiveError(line, body))
+    parsed.suppressions = {line: frozenset(codes)
+                           for line, codes in suppressions.items()}
+    parsed.sites = {line: frozenset(codes)
+                    for line, codes in sites.items()}
+    parsed.hot_lines = tuple(hot_lines)
+    return parsed

@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro <command>`` (or the
 ``repro`` console script).
 
-Five commands cover the everyday workflows:
+Six commands cover the everyday workflows:
 
 * ``trace``    — generate a workload trace, print its characterization,
   optionally save it as a ``.npz`` bundle for external tools;
@@ -23,7 +23,10 @@ Five commands cover the everyday workflows:
   (sharding wide trace groups), and checkpoints every completed point
   so an interrupted sweep *resumes*; ``status`` reports completion
   (``--format json`` for scripts); ``report`` renders markdown or CSV
-  summary tables.
+  summary tables;
+* ``lint``     — reprolint (:mod:`repro.analysis`), the repo's own
+  AST-based determinism & hot-path contract checker; CI gates on
+  ``repro lint src tests benchmarks examples`` exiting 0.
 
 Every ``--jobs`` flag accepts ``auto`` (all CPUs but one, minimum one).
 
@@ -39,6 +42,7 @@ import sys
 from dataclasses import asdict
 from typing import List, NamedTuple, Optional, Tuple
 
+from .analysis import runner as lint_runner
 from .common.config import CacheConfig, PIFConfig
 from .core.pif import ProactiveInstructionFetch
 from .experiments.parallel import jobs_argument_type, parallel_map
@@ -352,6 +356,9 @@ def _load_sweep_spec(args: argparse.Namespace):
                   "(run `repro sweep run` first, or pass --spec)",
                   file=sys.stderr)
             return None
+    # CLI boundary: the error is reported on stderr and becomes exit
+    # code 2; nothing downstream ever consumes the bad spec.
+    # reprolint: disable=RL007 - converted to an exit code at the CLI boundary
     except SpecError as error:
         print(f"invalid scenario: {error}", file=sys.stderr)
         return None
@@ -425,6 +432,15 @@ def cmd_sweep_report(args: argparse.Namespace) -> int:
     else:
         print(format_markdown(summary), end="")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run reprolint (see :mod:`repro.analysis`) and gate on the result.
+
+    Exit 0 = clean, 1 = non-baselined findings or unused baseline
+    entries, 2 = usage error — the same contract CI relies on.
+    """
+    return lint_runner.run(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -563,6 +579,11 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=("markdown", "csv"),
                               help="output format (default: markdown)")
     sweep_report.set_defaults(func=cmd_sweep_report)
+
+    lint = commands.add_parser(
+        "lint", help="run reprolint, the determinism contract checker")
+    lint_runner.configure_parser(lint)
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

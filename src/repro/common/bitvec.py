@@ -37,7 +37,7 @@ class BitVector:
             )
 
     @classmethod
-    def from_bits(cls, width: int, bits: Iterable[int]) -> "BitVector":
+    def from_bits(cls, width: int, bits: Iterable[int]) -> BitVector:
         """Build a vector with the given bit positions set."""
         mask = 0
         for bit in bits:
@@ -47,7 +47,7 @@ class BitVector:
         return cls(width, mask)
 
     @classmethod
-    def from_string(cls, text: str) -> "BitVector":
+    def from_string(cls, text: str) -> BitVector:
         """Parse a vector from the paper's figure notation, e.g. ``"101"``.
 
         The leftmost character is bit 0, matching how Figure 5 writes
@@ -61,13 +61,13 @@ class BitVector:
                 mask |= 1 << position
         return cls(len(text), mask)
 
-    def set(self, bit: int) -> "BitVector":
+    def set(self, bit: int) -> BitVector:
         """Return a copy with ``bit`` set."""
         if not 0 <= bit < self.width:
             raise ValueError(f"bit {bit} out of range for width {self.width}")
         return BitVector(self.width, self.mask | (1 << bit))
 
-    def clear(self, bit: int) -> "BitVector":
+    def clear(self, bit: int) -> BitVector:
         """Return a copy with ``bit`` cleared."""
         if not 0 <= bit < self.width:
             raise ValueError(f"bit {bit} out of range for width {self.width}")
@@ -79,7 +79,7 @@ class BitVector:
             raise ValueError(f"bit {bit} out of range for width {self.width}")
         return bool(self.mask >> bit & 1)
 
-    def is_subset_of(self, other: "BitVector") -> bool:
+    def is_subset_of(self, other: BitVector) -> bool:
         """True if every set bit of ``self`` is also set in ``other``.
 
         This is the temporal compactor's discard test (Section 4.1): an
@@ -90,13 +90,13 @@ class BitVector:
             raise ValueError("cannot compare vectors of different widths")
         return self.mask & ~other.mask == 0
 
-    def union(self, other: "BitVector") -> "BitVector":
+    def union(self, other: BitVector) -> BitVector:
         """Bitwise OR of two equal-width vectors."""
         if other.width != self.width:
             raise ValueError("cannot combine vectors of different widths")
         return BitVector(self.width, self.mask | other.mask)
 
-    def intersection(self, other: "BitVector") -> "BitVector":
+    def intersection(self, other: BitVector) -> BitVector:
         """Bitwise AND of two equal-width vectors."""
         if other.width != self.width:
             raise ValueError("cannot combine vectors of different widths")

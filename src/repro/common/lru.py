@@ -38,7 +38,7 @@ class LRUCache(Generic[K, V]):
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self._capacity = capacity
-        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._entries: OrderedDict[K, V] = OrderedDict()
 
     @property
     def capacity(self) -> int:

@@ -26,7 +26,7 @@ def child_seed(root_seed: int, *names: str) -> int:
     digest.update(str(int(root_seed)).encode("ascii"))
     for name in names:
         digest.update(b"/")
-        digest.update(name.encode("utf-8"))
+        digest.update(name.encode())
     return int.from_bytes(digest.digest()[:8], "big")
 
 

@@ -55,7 +55,7 @@ class SpatialRegionRecord(NamedTuple):
         """Number of encoded blocks including the trigger."""
         return 1 + self.bit_vector(geometry).popcount()
 
-    def is_subset_of(self, other: "SpatialRegionRecord",
+    def is_subset_of(self, other: SpatialRegionRecord,
                      geometry: RegionGeometry) -> bool:
         """The temporal compactor's discard test: same trigger and the
         incoming vector adds no blocks."""

@@ -41,7 +41,7 @@ class ExperimentConfig:
     cache: CacheConfig = field(default_factory=lambda: EXPERIMENT_CACHE)
     pif: PIFConfig = field(default_factory=lambda: EXPERIMENT_PIF)
 
-    def scaled(self, factor: float) -> "ExperimentConfig":
+    def scaled(self, factor: float) -> ExperimentConfig:
         """A copy with the trace length scaled (for quick/bench modes)."""
         from dataclasses import replace
 

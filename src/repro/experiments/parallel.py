@@ -90,11 +90,19 @@ def _attach_worker(store_env: Optional[str], generator_hash: str) -> None:
     archives are current.
     """
     if store_env is not None:
+        # This IS the sanctioned propagation mechanism: the worker's
+        # environment is overwritten with the parent's snapshot before
+        # any worker code can read it.
+        # reprolint: disable=RL004 - worker-side write of the parent snapshot
         os.environ[trace_store.STORE_ENV] = store_env
     trace_store._generator_hash_cache = generator_hash
 
 
 def _initargs() -> Tuple[Optional[str], str]:
+    # Parent-side snapshot that _attach_worker re-applies in every
+    # worker; reading the environment here is what makes worker-side
+    # reads unnecessary.
+    # reprolint: disable=RL004 - sanctioned parent-side snapshot
     return (os.environ.get(trace_store.STORE_ENV),
             trace_store.generator_version_hash())
 
@@ -176,7 +184,7 @@ def _run_task(spec: _TaskSpec) -> Any:
     # Pin the global RNG per task, not per worker, so any component that
     # (incorrectly) reaches for module-level randomness still produces
     # placement-independent results.
-    random.seed(spec.seed)
+    random.seed(spec.seed)  # reprolint: disable=RL001 - deliberate per-task pinning of the global RNG
     return spec.func(spec.config, spec.workload)
 
 
@@ -231,7 +239,7 @@ class ExperimentPool:
             self._pool.join()
             self._pool = None
 
-    def __enter__(self) -> "ExperimentPool":
+    def __enter__(self) -> ExperimentPool:
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
@@ -263,7 +271,7 @@ def parallel_map(func: Callable[[Any], Any], items: Sequence[Any],
     return shared_pool(jobs).map(func, items, chunksize=1)
 
 
-def _run_indexed(task: "Tuple[Callable[[Any], Any], int, Any]"
+def _run_indexed(task: Tuple[Callable[[Any], Any], int, Any]
                  ) -> Tuple[int, Any]:
     """Worker shim for :func:`parallel_imap`: tag results with their
     submission index so callers can reorder if they need to."""
@@ -272,7 +280,7 @@ def _run_indexed(task: "Tuple[Callable[[Any], Any], int, Any]"
 
 
 def parallel_imap(func: Callable[[Any], Any], items: Sequence[Any],
-                  jobs: int = 1) -> "Iterator[Tuple[int, Any]]":
+                  jobs: int = 1) -> Iterator[Tuple[int, Any]]:
     """Incremental process map: yields ``(index, result)`` pairs.
 
     With ``jobs=1`` (or a single item) tasks run inline and results

@@ -279,7 +279,10 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
         raise ValueError("jobs must be positive")
     if limit is not None and limit < 0:
         raise ValueError("limit cannot be negative")
-    resolve_kernel(kernel)  # fail fast on a bad selector
+    # Resolve in the parent (failing fast on a bad selector): tasks must
+    # carry the concrete kernel name, never a None a worker would resolve
+    # against its own environment.
+    kernel = resolve_kernel(kernel)
     emit = log if log is not None else (
         lambda line: print(line, file=sys.stderr))
 
@@ -308,7 +311,7 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
          f"({skipped} stored, {len(selected)} to run in {len(tasks)} "
          f"tasks over {len(groups)} trace groups, jobs={jobs})")
     computed = 0
-    started = time.time()
+    started = time.monotonic()  # reprolint: disable=RL002 - progress timing; stderr only, never recorded
     try:
         for finished, (index, (records, baselines)) in enumerate(
                 parallel_imap(_run_group, tasks, jobs=jobs), start=1):
@@ -316,9 +319,10 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
             task = tasks[index]
             sidecar.append_missing(baselines, known_keys, task.trace_key())
             computed += len(records)
+            elapsed = time.monotonic() - started  # reprolint: disable=RL002 - progress timing; stderr only, never recorded
             emit(f"  [{finished}/{len(tasks)}] {task.workload} core "
                  f"{task.core} seed {task.seed}: {len(records)} points "
-                 f"({time.time() - started:.1f}s elapsed)")
+                 f"({elapsed:.1f}s elapsed)")
     except BaseException:
         # The persistent pool has no per-call context manager to cancel
         # the queued tasks; don't leave abandoned simulations burning

@@ -144,7 +144,7 @@ def point_hash(point: SweepPoint) -> str:
     """
     payload = json.dumps(point.identity(), sort_keys=True,
                          separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 @dataclass(slots=True)

@@ -48,6 +48,7 @@ class BaselineReplay:
     stats: CacheStats
 
 
+# reprolint: hot
 def _replay_lru(blocks: List[int], n_sets: int, ways: int,
                 hits: np.ndarray) -> int:
     """LRU replay; returns the eviction count and fills ``hits``."""
@@ -68,6 +69,7 @@ def _replay_lru(blocks: List[int], n_sets: int, ways: int,
     return evictions
 
 
+# reprolint: hot
 def _replay_fifo(blocks: List[int], n_sets: int, ways: int,
                  hits: np.ndarray) -> int:
     """FIFO replay: hits do not promote; victim is the oldest fill."""
@@ -85,6 +87,7 @@ def _replay_fifo(blocks: List[int], n_sets: int, ways: int,
     return evictions
 
 
+# reprolint: hot
 def _replay_random(blocks: List[int], n_sets: int, ways: int,
                    hits: np.ndarray,
                    rng: Optional[random.Random]) -> int:
@@ -197,7 +200,7 @@ class MeasuredBaseline:
         }
 
     @classmethod
-    def from_json(cls, payload: Dict[str, object]) -> "MeasuredBaseline":
+    def from_json(cls, payload: Dict[str, object]) -> MeasuredBaseline:
         """Inverse of :meth:`to_json`; raises KeyError/ValueError on
         malformed payloads (callers treat those as cache misses)."""
         per_level = tuple(sorted(

@@ -74,7 +74,7 @@ class OracleResult:
             return 0.0
         return self.per_level_predicted.get(trap_level, 0) / total
 
-    def merge(self, other: "OracleResult") -> None:
+    def merge(self, other: OracleResult) -> None:
         """Accumulate ``other`` into this result (for per-level oracles)."""
         self.predicted_misses += other.predicted_misses
         self.total_misses += other.total_misses

@@ -82,8 +82,16 @@ KERNELS = ("fast", "reference")
 
 
 def resolve_kernel(kernel: Optional[str]) -> str:
-    """Normalize a kernel selector (None -> environment -> "fast")."""
+    """Normalize a kernel selector (None -> environment -> "fast").
+
+    The one sanctioned ``REPRO_SIM_KERNEL`` resolution point.  Callers
+    that fan work out must resolve *before* building tasks (see
+    :func:`repro.scenarios.runner.run_sweep`) so a worker never consults
+    its own environment; both kernels produce bit-identical metrics, so
+    the selector only ever changes provenance fields and speed.
+    """
     if kernel is None:
+        # reprolint: disable=RL004 - sanctioned kernel-selector resolution point
         kernel = os.environ.get("REPRO_SIM_KERNEL") or "fast"
     if kernel not in KERNELS:
         raise ValueError(f"unknown simulation kernel {kernel!r}; "
@@ -105,7 +113,7 @@ class _Lane:
                  "train_plan", "pif_pending")
 
     def __init__(self, prefetcher: Prefetcher, cache,
-                 baseline: "_Baseline") -> None:
+                 baseline: _Baseline) -> None:
         self.prefetcher = prefetcher
         self.cache = cache
         self.baseline = baseline
@@ -142,6 +150,7 @@ def _retire_hook(prefetcher: Prefetcher):
     return prefetcher.on_retire
 
 
+# reprolint: hot
 def _walk_lane_inline2(lane: _Lane, blocks, pcs, trap_levels, wrong_paths,
                        retire_pcs, retire_traps,
                        retire_cursor: int, measuring: bool) -> int:
@@ -260,6 +269,7 @@ def _walk_lane_inline2(lane: _Lane, blocks, pcs, trap_levels, wrong_paths,
     return retire_cursor
 
 
+# reprolint: hot
 def _walk_lane_inline2_nextline(lane: _Lane, blocks, pcs, trap_levels,
                                 wrong_paths, retire_pcs, retire_traps,
                                 retire_cursor: int, measuring: bool) -> int:
@@ -369,6 +379,7 @@ def _walk_lane_inline2_nextline(lane: _Lane, blocks, pcs, trap_levels,
     return retire_cursor
 
 
+# reprolint: hot
 def _walk_lane_inline2_stride(lane: _Lane, blocks, pcs, trap_levels,
                               wrong_paths, retire_pcs, retire_traps,
                               retire_cursor: int, measuring: bool) -> int:
@@ -482,6 +493,7 @@ def _walk_lane_inline2_stride(lane: _Lane, blocks, pcs, trap_levels,
     return retire_cursor
 
 
+# reprolint: hot
 def _walk_lane_inline2_discontinuity(lane: _Lane, blocks, pcs, trap_levels,
                                      wrong_paths, retire_pcs, retire_traps,
                                      retire_cursor: int,
@@ -596,6 +608,7 @@ def _walk_lane_inline2_discontinuity(lane: _Lane, blocks, pcs, trap_levels,
     return retire_cursor
 
 
+# reprolint: hot
 def _walk_lane_inline2_pif(lane: _Lane, segments, retire_pcs, retire_traps,
                            retire_cursor: int, measuring: bool) -> int:
     """:func:`_walk_lane_inline2` with the PIF engine fused in.
@@ -691,7 +704,7 @@ def _walk_lane_inline2_pif(lane: _Lane, segments, retire_pcs, retire_traps,
                 cur_channel = make_channel(key)
             cur_key = key
             cur_sabs = cur_channel.sabs._sabs
-            cur_maps = [sab._block_map for sab in cur_sabs]
+            cur_maps = [sab._block_map for sab in cur_sabs]  # reprolint: disable=RL006 - rebuilt only on channel switch
             cur_history = cur_channel.history
             cur_hring = cur_history._ring
             cur_hcap = cur_history.capacity
@@ -758,7 +771,7 @@ def _walk_lane_inline2_pif(lane: _Lane, segments, retire_pcs, retire_traps,
                         #    (StreamAddressBuffer.advance_into, fused) --
                         window = sab.window[sab_slot:]
                         sab.window = window
-                        block_map: Dict[int, int] = {}
+                        block_map: Dict[int, int] = {}  # reprolint: disable=RL006 - rebuilt only on window slide
                         map_setdefault = block_map.setdefault
                         cache_get = sab._block_cache.get
                         decode = sab._blocks_of
@@ -916,7 +929,7 @@ def _walk_lane_inline2_pif(lane: _Lane, segments, retire_pcs, retire_traps,
                                                    scratch)
                     cur_chstats.stream_allocations += 1
                     stream_allocs += 1
-                    cur_maps = [sab._block_map for sab in cur_sabs]
+                    cur_maps = [sab._block_map for sab in cur_sabs]  # reprolint: disable=RL006 - rebuilt only on stream allocation
                     # Allocation burst: dedup (against any slide burst
                     # of this access) + install, same pass as above.
                     for candidate in scratch:
@@ -962,7 +975,7 @@ def _walk_lane_inline2_pif(lane: _Lane, segments, retire_pcs, retire_traps,
                             tr_counters = compaction.get(event_key)
                             if tr_counters is None:
                                 tr_counters = compaction[event_key] = \
-                                    [0, 0, 0]
+                                    [0, 0, 0]  # reprolint: disable=RL006 - one counter cell per event key
                         tr_counters[0] += 1
                         if ev_survives[ev_index]:
                             tr_counters[1] += 1
@@ -1050,6 +1063,7 @@ def _select_walker(lane: _Lane):
     return _FUSED_WALKERS.get(type(lane.prefetcher), _walk_lane_inline2)
 
 
+# reprolint: hot
 def _walk_lane_generic(lane: _Lane, blocks, pcs, trap_levels, wrong_paths,
                        retire_pcs, retire_traps,
                        retire_cursor: int, measuring: bool) -> int:

@@ -101,6 +101,7 @@ def run_timing_simulation(
                                      perfect_cache)
 
 
+# reprolint: hot
 def _run_timing_fast(bundle: TraceBundle, engine: Prefetcher,
                      cfg: SystemConfig, warmup_fraction: float,
                      perfect_cache: bool) -> TimingResult:
@@ -231,6 +232,7 @@ def _run_timing_fast(bundle: TraceBundle, engine: Prefetcher,
     )
 
 
+# reprolint: hot
 def _issue_prefetches(candidates, contains, cache_prefetch,
                       in_flight: Dict[int, float], now: float,
                       queue_free_at: float, touched_add, touched,

@@ -83,7 +83,7 @@ class TraceBundle:
                      retire_pc: np.ndarray, retire_trap: np.ndarray,
                      access_block: np.ndarray, access_pc: np.ndarray,
                      access_trap: np.ndarray, access_wrong_path: np.ndarray,
-                     instructions: int = 0) -> "TraceBundle":
+                     instructions: int = 0) -> TraceBundle:
         """Build a bundle directly from its columns (no record objects)."""
         bundle = cls(workload=workload, core=core, seed=seed,
                      block_bytes=block_bytes, instructions=instructions)

@@ -108,7 +108,7 @@ def save_bundle(bundle: TraceBundle, path: Union[str, Path],
     writer = np.savez if format_version >= 3 else np.savez_compressed
     writer(
         path,
-        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
         retire_pc=bundle.retire_pc,
         retire_tl=bundle.retire_trap,
         access_block=bundle.access_block,

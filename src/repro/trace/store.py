@@ -157,7 +157,7 @@ class TraceStore:
         self.root = Path(root)
 
     @classmethod
-    def from_env(cls) -> Optional["TraceStore"]:
+    def from_env(cls) -> Optional[TraceStore]:
         """The process-wide store, or None when persistence is disabled."""
         root = store_root_from_env()
         return cls(root) if root is not None else None

@@ -87,7 +87,7 @@ class TestPIFPredictorOracle:
     def test_region_stream_predicts_repeat(self):
         oracle = PIFPredictorOracle(window_regions=4)
         stream = [(b * 64, True) for b in (100, 300, 500, 700)]
-        for pass_index in range(3):
+        for _pass_index in range(3):
             for pc, _ in stream:
                 oracle.observe(pc, 0, is_miss=True)
         oracle.finish()
