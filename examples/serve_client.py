@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""End-to-end client for the `repro serve` daemon — stdlib only.
+
+Submits a scenario spec over HTTP, polls the job until it finishes
+(printing sweep progress), then fetches and prints the report:
+
+    repro serve --data-dir runs/service --port 8642 &
+    python examples/serve_client.py --port 8642 \
+        examples/scenarios/ci-smoke.yaml
+
+Exit status: 0 when the job reaches `done`, 1 when it fails, 2 for
+client-side errors (unreachable daemon, rejected spec).  The full API
+this exercises is documented in docs/api.md.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def api(base, method, path, body=None, content_type=None):
+    """One API call -> (status, decoded body).  4xx/5xx replies carry a
+    JSON error document; surface its message instead of a traceback."""
+    request = urllib.request.Request(base + path, data=body, method=method)
+    if content_type:
+        request.add_header("Content-Type", content_type)
+    try:
+        with urllib.request.urlopen(request) as reply:
+            return reply.status, reply.read()
+    except urllib.error.HTTPError as error:
+        payload = json.loads(error.read())
+        raise SystemExit(
+            f"{method} {path} -> {error.code}: {payload['error']}"
+        ) from None
+    except urllib.error.URLError as error:
+        raise SystemExit(f"cannot reach the daemon at {base}: "
+                         f"{error.reason}") from None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("spec", help="scenario spec file (YAML or JSON)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument("--format", choices=("markdown", "csv"),
+                        default="markdown", help="report flavour")
+    parser.add_argument("--poll-seconds", type=float, default=1.0)
+    args = parser.parse_args(argv)
+    base = f"http://{args.host}:{args.port}"
+
+    with open(args.spec, "rb") as handle:
+        body = handle.read()
+    content_type = ("application/yaml"
+                    if args.spec.endswith((".yaml", ".yml"))
+                    else "application/json")
+
+    status, reply = api(base, "POST", "/v1/sweeps", body, content_type)
+    job = json.loads(reply)
+    print(f"submitted {job['scenario']!r} as {job['id']} "
+          f"({job['sweep']['points']} points)", flush=True)
+
+    while job["state"] not in ("done", "failed", "cancelled"):
+        time.sleep(args.poll_seconds)
+        _, reply = api(base, "GET", f"/v1/sweeps/{job['id']}")
+        job = json.loads(reply)
+        sweep = job["sweep"]
+        print(f"  {job['state']}: {sweep['computed']}/{sweep['points']} "
+              f"points", flush=True)
+
+    if job["state"] != "done":
+        print(f"job {job['id']} ended {job['state']}: {job['error']}",
+              file=sys.stderr)
+        return 1
+
+    _, report = api(base, "GET",
+                    f"/v1/sweeps/{job['id']}/report?format={args.format}")
+    print()
+    print(report.decode(), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro <command>`` (or the
 ``repro`` console script).
 
-Six commands cover the everyday workflows:
+Seven commands cover the everyday workflows:
 
 * ``trace``    — generate a workload trace, print its characterization,
   optionally save it as a ``.npz`` bundle for external tools;
@@ -24,6 +24,11 @@ Six commands cover the everyday workflows:
   so an interrupted sweep *resumes*; ``status`` reports completion
   (``--format json`` for scripts); ``report`` renders markdown or CSV
   summary tables;
+* ``serve``    — the sweep-service daemon (:mod:`repro.service`): a
+  long-running HTTP API over the same resumable sweep engine — submit
+  scenario specs, poll job status, fetch reports; jobs persist under
+  ``--data-dir`` and a restarted daemon resumes every in-flight sweep
+  with zero recomputation.  The API reference is ``docs/api.md``;
 * ``lint``     — reprolint (:mod:`repro.analysis`), the repo's own
   AST-based determinism & hot-path contract checker; CI gates on
   ``repro lint src tests benchmarks examples`` exiting 0.
@@ -434,6 +439,64 @@ def cmd_sweep_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep-service HTTP daemon until SIGTERM/SIGINT.
+
+    Shutdown is graceful: the signal wakes the main thread, the HTTP
+    listener stops, and the worker finishes (and checkpoints) the trace
+    group it is walking before the process exits — an interrupted job
+    is persisted back to ``queued`` and the next start on the same
+    ``--data-dir`` resumes it with zero recomputed points.
+    """
+    import os
+    import signal
+    import threading
+
+    from .service import ServiceConfig, SweepService, build_server
+
+    try:
+        config = ServiceConfig(data_dir=args.data_dir, jobs=args.jobs,
+                               queue_depth=args.queue_depth,
+                               max_body_bytes=args.max_body_kb * 1024,
+                               kernel=args.kernel)
+    except ValueError as error:
+        print(f"invalid configuration: {error}", file=sys.stderr)
+        return 2
+    service = SweepService(config)
+    try:
+        server = build_server(args.host, args.port, service)
+    except OSError as error:
+        print(f"cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 2
+    stop = threading.Event()
+
+    def _request_shutdown(signum: int, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_shutdown)
+    signal.signal(signal.SIGINT, _request_shutdown)
+    service.start()
+    listener = threading.Thread(target=server.serve_forever,
+                                name="http-listener", daemon=True)
+    listener.start()
+    host, port = server.server_address[:2]
+    service.log_event("serve-started", host=host, port=port,
+                      pid=os.getpid(), data_dir=args.data_dir,
+                      jobs=args.jobs, queue_depth=args.queue_depth)
+    print(f"repro serve listening on http://{host}:{port} "
+          f"(data dir {args.data_dir}; SIGTERM for graceful shutdown)",
+          file=sys.stderr)
+    stop.wait()
+    service.log_event("serve-stopping", reason="signal")
+    server.shutdown()          # stop accepting requests first,
+    listener.join()
+    service.stop(wait=True)    # then checkpoint the in-flight sweep
+    server.server_close()
+    service.log_event("serve-stopped")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run reprolint (see :mod:`repro.analysis`) and gate on the result.
 
@@ -579,6 +642,36 @@ def build_parser() -> argparse.ArgumentParser:
                               choices=("markdown", "csv"),
                               help="output format (default: markdown)")
     sweep_report.set_defaults(func=cmd_sweep_report)
+
+    serve = commands.add_parser(
+        "serve", help="run the sweep-service HTTP daemon")
+    serve.add_argument("--data-dir", required=True,
+                       help="service state directory: job files plus one "
+                            "resumable sweep store per job (restarting "
+                            "on the same directory resumes in-flight "
+                            "sweeps)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only; the "
+                            "API is unauthenticated)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0 picks a free one; the chosen "
+                            "port is printed at startup)")
+    serve.add_argument("--jobs", type=_jobs_value, default=1,
+                       help="worker processes per sweep, or 'auto' "
+                            "(one job runs at a time; parallelism goes "
+                            "inside the sweep so stores stay identical "
+                            "to CLI runs)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="max queued jobs before submissions get "
+                            "429 (backpressure)")
+    serve.add_argument("--max-body-kb", type=int, default=1024,
+                       help="max request body size in KiB; larger spec "
+                            "submissions get 413")
+    serve.add_argument("--kernel", default=None,
+                       choices=("fast", "reference"),
+                       help="simulation kernel for every job (default: "
+                            "$REPRO_SIM_KERNEL or fast)")
+    serve.set_defaults(func=cmd_serve)
 
     lint = commands.add_parser(
         "lint", help="run reprolint, the determinism contract checker")

@@ -293,6 +293,14 @@ def parallel_imap(func: Callable[[Any], Any], items: Sequence[Any],
     With ``jobs>1`` the tasks run on the persistent :func:`shared_pool`
     — repeated calls (sweep after sweep, or a resumed sweep) reuse the
     same attached workers instead of re-spawning.
+
+    Early-close contract: ``close()``-ing the iterator before
+    exhaustion (what the sweep runner's cooperative-stop hook does on
+    graceful shutdown) cancels the not-yet-consumed work — under
+    ``jobs>1`` the persistent pool is torn down, since
+    ``imap_unordered`` offers no way to retract queued tasks from a
+    live pool, and the next parallel call transparently re-creates it.
+    Results already yielded are unaffected.
     """
     if jobs <= 0:
         raise ValueError("jobs must be positive")
@@ -301,5 +309,12 @@ def parallel_imap(func: Callable[[Any], Any], items: Sequence[Any],
             yield index, func(item)
         return
     tagged = [(func, index, item) for index, item in enumerate(items)]
-    yield from shared_pool(jobs).imap_unordered(_run_indexed, tagged,
-                                                chunksize=1)
+    try:
+        yield from shared_pool(jobs).imap_unordered(_run_indexed, tagged,
+                                                    chunksize=1)
+    except GeneratorExit:
+        # Closed early: the consumer is done, but the pool still holds
+        # queued tasks it would keep burning CPU on.  Terminate it; the
+        # abandoned tasks' results were never going to be observed.
+        shutdown_shared_pool()
+        raise

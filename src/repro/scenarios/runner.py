@@ -261,7 +261,8 @@ def _shard_tasks(tasks: List[_GroupTask], jobs: int) -> List[_GroupTask]:
 
 def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
               limit: Optional[int] = None, kernel: Optional[str] = None,
-              log: Optional[Callable[[str], None]] = None
+              log: Optional[Callable[[str], None]] = None,
+              should_stop: Optional[Callable[[], bool]] = None
               ) -> SweepRunSummary:
     """Run (or resume) ``spec``, persisting results under ``out``.
 
@@ -274,6 +275,13 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
     metrics are bit-identical either way; records differ only in their
     kernel provenance field).  ``log`` receives one progress line per
     completed task (default: stderr).
+
+    ``should_stop`` is the cooperative-stop hook (the sweep service's
+    graceful shutdown): polled between tasks, never mid-walk.  When it
+    returns True the in-flight task finishes and is checkpointed to the
+    store, queued tasks are cancelled, and the summary comes back with
+    ``remaining > 0`` — the sweep resumes later exactly like one
+    interrupted by ``--limit`` or a kill, recomputing nothing.
     """
     if jobs <= 0:
         raise ValueError("jobs must be positive")
@@ -312,9 +320,13 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
          f"tasks over {len(groups)} trace groups, jobs={jobs})")
     computed = 0
     started = time.monotonic()  # reprolint: disable=RL002 - progress timing; stderr only, never recorded
+    results = parallel_imap(_run_group, tasks, jobs=jobs)
+    if should_stop is not None and should_stop():
+        results.close()  # nothing dispatched yet; compute nothing
+        tasks = []
     try:
         for finished, (index, (records, baselines)) in enumerate(
-                parallel_imap(_run_group, tasks, jobs=jobs), start=1):
+                results, start=1):
             store.append_all(records)
             task = tasks[index]
             sidecar.append_missing(baselines, known_keys, task.trace_key())
@@ -323,6 +335,15 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
             emit(f"  [{finished}/{len(tasks)}] {task.workload} core "
                  f"{task.core} seed {task.seed}: {len(records)} points "
                  f"({elapsed:.1f}s elapsed)")
+            if should_stop is not None and finished < len(tasks) \
+                    and should_stop():
+                # Cooperative stop: everything completed so far is in
+                # the store; closing the iterator cancels the queued
+                # pool tasks (parallel_imap's early-close contract).
+                results.close()
+                emit(f"  stop requested; checkpointed after {finished} of "
+                     f"{len(tasks)} tasks")
+                break
     except BaseException:
         # The persistent pool has no per-call context manager to cancel
         # the queued tasks; don't leave abandoned simulations burning
@@ -331,4 +352,4 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
             shutdown_shared_pool()
         raise
     return SweepRunSummary(total=total, skipped=skipped, computed=computed,
-                           remaining=len(pending) - len(selected))
+                           remaining=total - skipped - computed)

@@ -1,0 +1,250 @@
+"""HTTP adapter for the sweep service: routing, limits, logging.
+
+A deliberately thin layer over :class:`repro.service.service.SweepService`
+built on the stdlib ``http.server`` (``ThreadingHTTPServer``) — no new
+dependencies, one thread per connection, all shared state behind the
+service's own lock.  Responsibilities:
+
+* resolve requests against the documented route table
+  (:data:`repro.service.schemas.ROUTES`) — 404 for unknown paths, 405
+  (with ``Allow``) for known paths with the wrong method;
+* enforce the request-body limits *before* reading: 411 without a
+  ``Content-Length``, 413 over ``max_body_bytes``;
+* decode scenario specs from JSON (default) or YAML (any
+  ``Content-Type`` containing ``yaml``), mapping parse and validation
+  failures to 400 with the validator's message;
+* map service errors to status codes: ``UnknownJobError`` → 404,
+  ``JobConflictError`` → 409, ``QueueFullError`` → 429;
+* emit one structured log event per request (method, path, status,
+  response bytes, wall-clock milliseconds).
+
+Every JSON response is built through the ``payload_*`` helpers in
+:mod:`repro.service.schemas`, so responses cannot drift from the
+documented schemas tier-1 validates.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .. import __version__
+from ..scenarios import (ResultsStore, SpecError, format_csv,
+                         format_markdown, parse_spec, summarize)
+from ..scenarios.results import current_generator
+from .schemas import (match_route, payload_error, payload_health,
+                      payload_job, payload_jobs)
+from .service import (JobConflictError, QueueFullError, SweepService,
+                      UnknownJobError)
+
+
+class SweepServer(ThreadingHTTPServer):
+    """The daemon's HTTP server, bound to one :class:`SweepService`."""
+
+    #: Connection threads die with the process; shutdown() is driven by
+    #: the service lifecycle, not by per-connection joins.
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: SweepService
+                 ) -> None:
+        super().__init__(address, SweepRequestHandler)
+        self.service = service
+
+
+def build_server(host: str, port: int, service: SweepService) -> SweepServer:
+    """Bind the daemon's server (port 0 picks a free port — tests)."""
+    return SweepServer((host, port), service)
+
+
+class SweepRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches requests through the documented route table."""
+
+    server: SweepServer
+    #: Keep-alive responses; every send sets Content-Length explicitly.
+    protocol_version = "HTTP/1.1"
+
+    # -------------------------------------------------------------- verbs
+
+    def do_GET(self) -> None:           # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:          # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:        # noqa: N802 - http.server API
+        self._dispatch("DELETE")
+
+    # -------------------------------------------------------- dispatching
+
+    def _dispatch(self, method: str) -> None:
+        started = time.monotonic()
+        split = urlsplit(self.path)
+        self._query = parse_qs(split.query)
+        route, params, path_known = match_route(method, split.path)
+        try:
+            if route is None:
+                if path_known:
+                    allowed = sorted({r.method for r in _routes_for(
+                        split.path)})
+                    status, body, content_type = self._json_response(
+                        405, payload_error(
+                            f"method {method} not allowed here; "
+                            f"allowed: {', '.join(allowed)}"),
+                        extra_headers={"Allow": ", ".join(allowed)})
+                else:
+                    status, body, content_type = self._json_response(
+                        404, payload_error(f"no route for {split.path}"))
+            else:
+                status, body, content_type = getattr(
+                    self, route.handler)(params)
+        except UnknownJobError as error:
+            status, body, content_type = self._json_response(
+                404, payload_error(f"unknown job {error.args[0]!r}"))
+        except JobConflictError as error:
+            status, body, content_type = self._json_response(
+                409, payload_error(str(error)))
+        except QueueFullError as error:
+            status, body, content_type = self._json_response(
+                429, payload_error(str(error)))
+        except SpecError as error:  # reprolint: disable=RL007 - HTTP boundary: surfaced to the client as a 400 with the validator's message
+            status, body, content_type = self._json_response(
+                400, payload_error(f"invalid scenario: {error}"))
+        self._respond(status, body, content_type)
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        self.server.service._event(
+            "request", method=method, path=split.path, status=status,
+            bytes=len(body), ms=round(elapsed_ms, 3))
+
+    # ----------------------------------------------------------- handlers
+
+    def handle_healthz(self, params: Dict[str, str]) -> "_Prepared":
+        service = self.server.service
+        return self._json_response(200, payload_health(
+            version=__version__, generator=current_generator(),
+            counts=service.counts(),
+            capacity=service.config.queue_depth,
+            available=service.queue_available()))
+
+    def handle_jobs(self, params: Dict[str, str]) -> "_Prepared":
+        return self._json_response(
+            200, payload_jobs(self.server.service.jobs()))
+
+    def handle_submit(self, params: Dict[str, str]) -> "_Prepared":
+        raw_spec, problem = self._read_spec_body()
+        if problem is not None:
+            return problem
+        job = self.server.service.submit(raw_spec)
+        return self._json_response(
+            202, payload_job(job, self.server.service.sweep_summary(job)))
+
+    def handle_job_detail(self, params: Dict[str, str]) -> "_Prepared":
+        service = self.server.service
+        job = service.get(params["id"])
+        return self._json_response(
+            200, payload_job(job, service.sweep_summary(job)))
+
+    def handle_job_report(self, params: Dict[str, str]) -> "_Prepared":
+        service = self.server.service
+        job = service.get(params["id"])
+        form = self._query.get("format", ["markdown"])[-1]
+        if form not in ("markdown", "csv"):
+            return self._json_response(400, payload_error(
+                f"unknown report format {form!r}; "
+                "use 'markdown' or 'csv'"))
+        spec = parse_spec(job.raw_spec)
+        summary = summarize(spec, ResultsStore(service.store.sweep_dir(
+            job.id)))
+        if form == "csv":
+            return 200, format_csv(summary).encode(), "text/csv"
+        return (200, format_markdown(summary).encode(),
+                "text/markdown; charset=utf-8")
+
+    def handle_cancel(self, params: Dict[str, str]) -> "_Prepared":
+        service = self.server.service
+        job = service.cancel(params["id"])
+        return self._json_response(
+            200, payload_job(job, service.sweep_summary(job)))
+
+    # ------------------------------------------------------------ plumbing
+
+    def _read_spec_body(self
+                        ) -> Tuple[Optional[Dict[str, Any]],
+                                   Optional["_Prepared"]]:
+        """Read and decode the submitted spec; (spec, None) on success,
+        (None, prepared error response) otherwise."""
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            return None, self._json_response(411, payload_error(
+                "Content-Length required"))
+        try:
+            length = int(length_header)
+        except ValueError:
+            return None, self._json_response(400, payload_error(
+                f"bad Content-Length {length_header!r}"))
+        limit = self.server.service.config.max_body_bytes
+        if length > limit:
+            return None, self._json_response(413, payload_error(
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte limit"))
+        body = self.rfile.read(length)
+        content_type = (self.headers.get("Content-Type") or "").lower()
+        if "yaml" in content_type:
+            try:
+                import yaml
+            except ImportError:
+                return None, self._json_response(400, payload_error(
+                    "YAML specs need pyyaml on the server; "
+                    "submit JSON instead"))
+            try:
+                raw = yaml.safe_load(body.decode("utf-8", "replace"))
+            except yaml.YAMLError as error:
+                return None, self._json_response(400, payload_error(
+                    f"body is not valid YAML: {error}"))
+        else:
+            try:
+                raw = json.loads(body.decode("utf-8", "replace"))
+            except json.JSONDecodeError as error:
+                return None, self._json_response(400, payload_error(
+                    f"body is not valid JSON: {error}"))
+        if not isinstance(raw, dict):
+            return None, self._json_response(400, payload_error(
+                "spec body must decode to an object (the scenario "
+                "mapping)"))
+        return raw, None
+
+    def _json_response(self, status: int, payload: Dict[str, Any],
+                       extra_headers: Optional[Dict[str, str]] = None
+                       ) -> "_Prepared":
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n"
+                ).encode()
+        self._extra_headers = extra_headers or {}
+        return status, body, "application/json"
+
+    def _respond(self, status: int, body: bytes, content_type: str
+                 ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in getattr(self, "_extra_headers", {}).items():
+            self.send_header(name, value)
+        self._extra_headers = {}
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence BaseHTTPRequestHandler's per-request stderr lines;
+        the structured ``request`` event in ``_dispatch`` replaces
+        them."""
+
+
+#: (status, body bytes, content type) — a prepared response.
+_Prepared = Tuple[int, bytes, str]
+
+
+def _routes_for(path: str):
+    from .schemas import ROUTES
+
+    return [route for route in ROUTES if route.regex().match(path)]

@@ -1,0 +1,200 @@
+"""Job model and on-disk persistence for the sweep service.
+
+One daemon *data directory* holds everything the service needs to
+survive any kind of death::
+
+    <data-dir>/
+      jobs/<job-id>.json    one file per job: raw spec + state + error
+      sweeps/<job-id>/      the job's sweep output directory — the very
+                            same resumable append-only store layout
+                            `repro sweep run --out` writes (results.jsonl,
+                            baselines.jsonl, scenario.json)
+
+Because the results store *is* the PR 4/5 content-hash-keyed resumable
+store, crash recovery costs nothing extra: a daemon killed hard
+(``kill -9``) and restarted on the same data directory re-enqueues
+every job whose file says ``queued`` or ``running``, and re-running the
+sweep skips every point that already has a record — zero recomputation,
+by the same mechanism that makes a Ctrl-C'd CLI sweep resume.
+
+Job identity is deterministic given submission order: a monotonically
+increasing sequence number (max existing + 1, persisted in the job
+file) plus a short content hash of the canonical spec JSON —
+``job-000003-5f1c2ab4`` — so ids are stable across restarts, sortable,
+and carry no wall-clock or ambient randomness.
+
+State machine (also documented in docs/api.md)::
+
+    queued --> running --> done
+       |          |-----> failed
+       |          '-----> queued     (graceful shutdown: checkpointed,
+       '--> cancelled                 re-enqueued on the next start)
+
+Writes are atomic (scratch file + ``os.replace``) so a torn job file
+cannot exist; an unreadable job file is surfaced at load time rather
+than silently dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: The legal job states, in lifecycle order.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+def spec_digest(raw_spec: Dict[str, Any]) -> str:
+    """Short content hash of a raw spec dict (canonical JSON, 8 hex)."""
+    payload = json.dumps(raw_spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:8]
+
+
+@dataclass(slots=True)
+class Job:
+    """One submitted sweep: identity, raw spec, lifecycle state."""
+
+    id: str
+    seq: int                  #: submission sequence number (1-based)
+    scenario: str             #: the spec's ``name`` field
+    state: str
+    raw_spec: Dict[str, Any]  #: the spec exactly as submitted
+    jobs: int                 #: worker processes the sweep runs with
+    error: Optional[str] = None
+    #: Points computed across this job's run() invocations (operator
+    #: visibility only; the store is the source of truth).
+    computed: int = field(default=0)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "seq": self.seq,
+            "scenario": self.scenario,
+            "state": self.state,
+            "spec": self.raw_spec,
+            "jobs": self.jobs,
+            "error": self.error,
+            "computed": self.computed,
+        }
+
+    @classmethod
+    def from_json(cls, raw: Dict[str, Any]) -> "Job":
+        return cls(id=raw["id"], seq=raw["seq"], scenario=raw["scenario"],
+                   state=raw["state"], raw_spec=raw["spec"],
+                   jobs=raw["jobs"], error=raw.get("error"),
+                   computed=raw.get("computed", 0))
+
+
+class JobStoreError(RuntimeError):
+    """A job file exists but cannot be read back as a job."""
+
+
+class JobStore:
+    """The ``jobs/`` and ``sweeps/`` halves of a service data directory.
+
+    Pure persistence — no locking, no queue semantics; the
+    :class:`~repro.service.service.SweepService` serializes access.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    @property
+    def jobs_dir(self) -> Path:
+        return self.root / "jobs"
+
+    @property
+    def sweeps_dir(self) -> Path:
+        return self.root / "sweeps"
+
+    def job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def sweep_dir(self, job_id: str) -> Path:
+        """The job's sweep output directory (the resumable store root)."""
+        return self.sweeps_dir / job_id
+
+    # ------------------------------------------------------------------
+
+    def create(self, raw_spec: Dict[str, Any], scenario: str,
+               jobs: int) -> Job:
+        """Mint a new queued job for ``raw_spec`` and persist it."""
+        seq = self.next_seq()
+        job_id = f"job-{seq:06d}-{spec_digest(raw_spec)}"
+        job = Job(id=job_id, seq=seq, scenario=scenario, state=QUEUED,
+                  raw_spec=raw_spec, jobs=jobs)
+        self.save(job)
+        return job
+
+    def next_seq(self) -> int:
+        """One past the highest sequence number on disk (1 when empty)."""
+        highest = 0
+        for job in self.load_all():
+            highest = max(highest, job.seq)
+        return highest + 1
+
+    def save(self, job: Job) -> None:
+        """Persist ``job`` atomically (scratch + replace)."""
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        path = self.job_path(job.id)
+        scratch = path.with_suffix(".json.tmp")
+        scratch.write_text(json.dumps(job.to_json(), indent=2,
+                                      sort_keys=True) + "\n")
+        scratch.replace(path)
+
+    def load(self, job_id: str) -> Optional[Job]:
+        """The persisted job, or None when no such file exists."""
+        try:
+            text = self.job_path(job_id).read_text()
+        except FileNotFoundError:
+            return None
+        return self._parse(self.job_path(job_id), text)
+
+    def load_all(self) -> List[Job]:
+        """Every persisted job, ordered by sequence number."""
+        if not self.jobs_dir.is_dir():
+            return []
+        jobs = []
+        for path in sorted(self.jobs_dir.glob("job-*.json")):
+            jobs.append(self._parse(path, path.read_text()))
+        jobs.sort(key=lambda job: job.seq)
+        return jobs
+
+    @staticmethod
+    def _parse(path: Path, text: str) -> Job:
+        # A job file is written atomically, so a parse failure is real
+        # corruption (disk fault, hand edit) — surface it loudly instead
+        # of silently dropping a user's submitted sweep.
+        try:
+            raw = json.loads(text)
+            job = Job.from_json(raw)
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise JobStoreError(f"unreadable job file {path}: "
+                                f"{error}") from error
+        if job.state not in STATES:
+            raise JobStoreError(f"job file {path} has unknown state "
+                                f"{job.state!r}")
+        return job
+
+    def recoverable(self) -> List[Job]:
+        """Jobs a (re)starting daemon must put back on its queue:
+        ``running`` first (they were in flight when the last process
+        died — their stores already hold every checkpointed point),
+        then ``queued``, each group in submission order."""
+        pending = [job for job in self.load_all()
+                   if job.state in (QUEUED, RUNNING)]
+        pending.sort(key=lambda job: (0 if job.state == RUNNING else 1,
+                                      job.seq))
+        return pending

@@ -1,0 +1,206 @@
+"""The sweep service's HTTP contract: route table and response schemas.
+
+This module is the single source of truth the rest of the repo checks
+itself against:
+
+* :data:`ROUTES` — every (method, path pattern) the daemon serves.
+  ``docs/api.md`` documents exactly these routes, and
+  ``tests/test_docs.py`` asserts the two sets are equal, so a route
+  added (or renamed) in code without a docs update fails tier-1 — the
+  same parse-the-docs rigor the README command test applies.
+* :data:`RESPONSE_SCHEMAS` — the exact top-level key set of every JSON
+  payload the daemon emits, by schema name.  Handlers build payloads
+  through the ``payload_*`` helpers here (so they cannot drift from the
+  schema), service tests validate live responses with
+  :func:`validate_payload`, and the docs test validates every JSON
+  example in ``docs/api.md`` against the same schemas — giving the
+  transitive guarantee *documented example ⇔ schema ⇔ live response*.
+
+Path patterns use ``{id}`` placeholders; :func:`match_route` resolves a
+concrete request path against the table.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+#: Characters a job id may contain (what :func:`repro.service.jobs`
+#: generates); the route regex refuses anything else so traversal-ish
+#: paths (``/v1/sweeps/../x``) fall through to 404.
+_ID_PATTERN = r"[A-Za-z0-9][A-Za-z0-9_.-]*"
+
+
+class Route(NamedTuple):
+    """One service endpoint: HTTP method, documented path pattern, and
+    the :class:`~repro.service.http` handler method name."""
+
+    method: str
+    pattern: str     #: e.g. ``/v1/sweeps/{id}/report``
+    handler: str     #: handler method name on the HTTP layer
+    schema: str      #: RESPONSE_SCHEMAS name of the success payload
+
+    def regex(self) -> "re.Pattern[str]":
+        parts = []
+        for piece in re.split(r"(\{[a-z]+\})", self.pattern):
+            if piece.startswith("{") and piece.endswith("}"):
+                parts.append(f"(?P<{piece[1:-1]}>{_ID_PATTERN})")
+            else:
+                parts.append(re.escape(piece))
+        return re.compile("^" + "".join(parts) + "$")
+
+
+#: The complete route table, in documentation order.
+ROUTES: Tuple[Route, ...] = (
+    Route("GET", "/v1/healthz", "handle_healthz", "health"),
+    Route("GET", "/v1/jobs", "handle_jobs", "jobs"),
+    Route("POST", "/v1/sweeps", "handle_submit", "job"),
+    Route("GET", "/v1/sweeps/{id}", "handle_job_detail", "job"),
+    Route("GET", "/v1/sweeps/{id}/report", "handle_job_report", "report"),
+    Route("DELETE", "/v1/sweeps/{id}", "handle_cancel", "job"),
+)
+
+
+def match_route(method: str, path: str
+                ) -> Tuple[Optional[Route], Dict[str, str], bool]:
+    """Resolve a request against :data:`ROUTES`.
+
+    Returns ``(route, path_params, path_known)``: ``route`` is None when
+    nothing matches; ``path_known`` is True when the *path* matches some
+    route but the method does not (the 405 case, as opposed to 404).
+    """
+    path_known = False
+    for route in ROUTES:
+        found = route.regex().match(path)
+        if found is None:
+            continue
+        path_known = True
+        if route.method == method:
+            return route, found.groupdict(), True
+    return None, {}, path_known
+
+
+# ---------------------------------------------------------------------------
+# response schemas
+
+#: Per-state job counts embedded in health and job payloads.
+JOB_STATE_KEYS = frozenset({"queued", "running", "done", "failed",
+                            "cancelled"})
+
+#: Key set of the nested ``sweep`` object of a job payload — exactly
+#: the fields of :func:`repro.scenarios.report.status_summary` (the
+#: ``repro sweep status --format json`` document).
+SWEEP_SUMMARY_KEYS = frozenset({
+    "scenario", "store", "points", "cores", "engine_variants",
+    "computed", "missing", "stale", "foreign", "complete",
+})
+
+#: Exact top-level key set of every JSON document the daemon emits.
+RESPONSE_SCHEMAS: Dict[str, frozenset] = {
+    # one job: POST /v1/sweeps (202), GET/DELETE /v1/sweeps/{id}
+    "job": frozenset({"id", "scenario", "state", "seq", "jobs", "error",
+                      "sweep"}),
+    # GET /v1/jobs
+    "jobs": frozenset({"jobs", "count"}),
+    # GET /v1/healthz
+    "health": frozenset({"status", "version", "generator", "jobs",
+                         "queue"}),
+    # every non-2xx body
+    "error": frozenset({"error"}),
+}
+
+#: Key set of one entry of the ``jobs`` list in the "jobs" schema.
+JOB_LIST_ENTRY_KEYS = frozenset({"id", "scenario", "state", "seq"})
+
+#: Key set of the ``queue`` object in the "health" schema.
+QUEUE_KEYS = frozenset({"capacity", "available"})
+
+
+class SchemaError(ValueError):
+    """A payload does not match its declared response schema."""
+
+
+def _require_keys(label: str, payload: Any, keys: frozenset) -> None:
+    if not isinstance(payload, dict):
+        raise SchemaError(f"{label} must be an object, got "
+                          f"{type(payload).__name__}")
+    actual = frozenset(payload)
+    if actual != keys:
+        missing = sorted(keys - actual)
+        extra = sorted(actual - keys)
+        raise SchemaError(f"{label} keys mismatch: missing {missing}, "
+                          f"unexpected {extra}")
+
+
+def validate_payload(schema: str, payload: Any) -> None:
+    """Assert ``payload`` matches ``RESPONSE_SCHEMAS[schema]`` exactly
+    (top-level keys, plus the documented nested objects).  Raises
+    :class:`SchemaError` naming the divergence.  The "report" schema is
+    text, not JSON — validating it here is a usage error.
+    """
+    if schema == "report":
+        raise SchemaError("the report endpoint returns text, not JSON")
+    try:
+        keys = RESPONSE_SCHEMAS[schema]
+    except KeyError:
+        raise SchemaError(f"unknown schema {schema!r}; known: "
+                          f"{sorted(RESPONSE_SCHEMAS)}") from None
+    _require_keys(schema, payload, keys)
+    if schema == "job":
+        if payload["sweep"] is not None:
+            _require_keys("job.sweep", payload["sweep"], SWEEP_SUMMARY_KEYS)
+        if payload["state"] not in JOB_STATE_KEYS:
+            raise SchemaError(f"job.state {payload['state']!r} is not one "
+                              f"of {sorted(JOB_STATE_KEYS)}")
+    elif schema == "jobs":
+        for index, entry in enumerate(payload["jobs"]):
+            _require_keys(f"jobs[{index}]", entry, JOB_LIST_ENTRY_KEYS)
+    elif schema == "health":
+        _require_keys("health.jobs", payload["jobs"], JOB_STATE_KEYS)
+        _require_keys("health.queue", payload["queue"], QUEUE_KEYS)
+
+
+# ---------------------------------------------------------------------------
+# payload builders (handlers go through these, so they cannot drift)
+
+
+def payload_error(message: str) -> Dict[str, Any]:
+    return {"error": message}
+
+
+def payload_job(job: Any, sweep: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The "job" document for one :class:`repro.service.jobs.Job`."""
+    return {
+        "id": job.id,
+        "scenario": job.scenario,
+        "state": job.state,
+        "seq": job.seq,
+        "jobs": job.jobs,
+        "error": job.error,
+        "sweep": sweep,
+    }
+
+
+def payload_jobs(jobs: List[Any]) -> Dict[str, Any]:
+    """The "jobs" document over a seq-ordered job list."""
+    return {
+        "jobs": [
+            {"id": job.id, "scenario": job.scenario, "state": job.state,
+             "seq": job.seq}
+            for job in jobs
+        ],
+        "count": len(jobs),
+    }
+
+
+def payload_health(version: str, generator: str, counts: Dict[str, int],
+                   capacity: int, available: int) -> Dict[str, Any]:
+    """The "health" document."""
+    return {
+        "status": "ok",
+        "version": version,
+        "generator": generator,
+        "jobs": {state: counts.get(state, 0)
+                 for state in sorted(JOB_STATE_KEYS)},
+        "queue": {"capacity": capacity, "available": available},
+    }

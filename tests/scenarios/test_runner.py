@@ -160,6 +160,41 @@ class TestResume:
         assert again.skipped == 0
 
 
+class TestCooperativeStop:
+    def test_stop_before_start_computes_nothing(self, tmp_path):
+        spec = small_spec()
+        summary = run_sweep(spec, tmp_path, should_stop=lambda: True,
+                            **quiet)
+        assert (summary.computed, summary.skipped) == (0, 0)
+        assert summary.remaining == len(spec.points())
+
+    def test_stop_between_groups_checkpoints_then_resumes(self, tmp_path):
+        """`should_stop` raised after the first trace group (what the
+        serve daemon's SIGTERM path does): that group's records are on
+        disk, the rest is left for a resume that ends byte-identical to
+        an uninterrupted run."""
+        spec = small_spec()
+        ref_dir = tmp_path / "ref"
+        run_sweep(spec, ref_dir, **quiet)
+
+        stop = {"requested": False}
+
+        def watch(line):
+            if "[1/" in line:
+                stop["requested"] = True
+
+        out = tmp_path / "out"
+        first = run_sweep(spec, out, log=watch,
+                          should_stop=lambda: stop["requested"])
+        assert (first.computed, first.remaining) == (2, 2)
+
+        resumed = run_sweep(spec, out, **quiet)
+        assert (resumed.skipped, resumed.computed) == (2, 2)
+        assert resumed.complete()
+        assert ResultsStore(out).records_path.read_bytes() \
+            == ResultsStore(ref_dir).records_path.read_bytes()
+
+
 class TestExecution:
     def test_jobs_do_not_change_records(self, tmp_path):
         """Parallel fan-out yields the same record *set* (arrival order

@@ -1,0 +1,101 @@
+"""Job model + persistence: ids, atomic writes, recovery ordering."""
+
+import json
+
+import pytest
+
+from repro.service.jobs import (CANCELLED, DONE, QUEUED, RUNNING, Job,
+                                JobStore, JobStoreError, spec_digest)
+
+SPEC = {"name": "unit", "sweep": {"workloads": ["dss-qry2"],
+                                  "instructions": 1000,
+                                  "engines": ["next-line"]}}
+
+
+class TestIdentity:
+    def test_ids_are_deterministic_and_sequential(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.create(SPEC, "unit", jobs=1)
+        second = store.create(SPEC, "unit", jobs=1)
+        digest = spec_digest(SPEC)
+        assert first.id == f"job-000001-{digest}"
+        assert second.id == f"job-000002-{digest}"
+        assert (first.seq, second.seq) == (1, 2)
+
+    def test_seq_survives_restart(self, tmp_path):
+        JobStore(tmp_path).create(SPEC, "unit", jobs=1)
+        reopened = JobStore(tmp_path)
+        assert reopened.next_seq() == 2
+        assert reopened.create(SPEC, "unit", jobs=1).seq == 2
+
+    def test_digest_is_content_addressed(self):
+        assert spec_digest(SPEC) == spec_digest(json.loads(json.dumps(SPEC)))
+        assert spec_digest(SPEC) != spec_digest({**SPEC, "name": "other"})
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create(SPEC, "unit", jobs=3)
+        job.state = DONE
+        job.error = None
+        job.computed = 7
+        store.save(job)
+        loaded = store.load(job.id)
+        assert loaded == job
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert JobStore(tmp_path).load("job-000001-00000000") is None
+
+    def test_atomic_write_leaves_no_scratch(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.create(SPEC, "unit", jobs=1)
+        assert not list(store.jobs_dir.glob("*.tmp"))
+
+    def test_corrupt_job_file_is_loud(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create(SPEC, "unit", jobs=1)
+        store.job_path(job.id).write_text("{not json")
+        with pytest.raises(JobStoreError, match="unreadable job file"):
+            store.load(job.id)
+
+    def test_unknown_state_is_loud(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.create(SPEC, "unit", jobs=1)
+        raw = json.loads(store.job_path(job.id).read_text())
+        raw["state"] = "levitating"
+        store.job_path(job.id).write_text(json.dumps(raw))
+        with pytest.raises(JobStoreError, match="unknown state"):
+            store.load(job.id)
+
+    def test_sweep_dir_is_per_job(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.create(SPEC, "unit", jobs=1)
+        second = store.create(SPEC, "unit", jobs=1)
+        assert store.sweep_dir(first.id) != store.sweep_dir(second.id)
+        assert store.sweep_dir(first.id).parent == store.sweeps_dir
+
+
+class TestRecovery:
+    def test_interrupted_running_jobs_first(self, tmp_path):
+        """A killed daemon's `running` job outranks older queued ones."""
+        store = JobStore(tmp_path)
+        queued_early = store.create(SPEC, "unit", jobs=1)
+        running = store.create(SPEC, "unit", jobs=1)
+        done = store.create(SPEC, "unit", jobs=1)
+        cancelled = store.create(SPEC, "unit", jobs=1)
+        running.state = RUNNING
+        store.save(running)
+        done.state = DONE
+        store.save(done)
+        cancelled.state = CANCELLED
+        store.save(cancelled)
+
+        recovered = store.recoverable()
+        assert [job.id for job in recovered] == [running.id, queued_early.id]
+        assert [job.state for job in recovered] == [RUNNING, QUEUED]
+
+    def test_load_all_ordered_by_seq(self, tmp_path):
+        store = JobStore(tmp_path)
+        ids = [store.create(SPEC, "unit", jobs=1).id for _ in range(3)]
+        assert [job.id for job in store.load_all()] == ids

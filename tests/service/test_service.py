@@ -1,0 +1,240 @@
+"""Service-layer lifecycle: queueing, backpressure, cancellation,
+graceful stop, and crash recovery.
+
+The two service acceptance locks live here:
+
+* a daemon stopped gracefully mid-sweep checkpoints the in-flight
+  trace group, persists the job back to ``queued``, and a restart on
+  the same data directory finishes it with **zero recomputed points**
+  and a results store byte-identical to an uninterrupted run;
+* the same holds for a hard kill (``kill -9`` leaves a ``running``
+  job file and a partial store — simulated directly on disk).
+"""
+
+import time
+
+import pytest
+
+from repro.scenarios import ResultsStore, SpecError, parse_spec, run_sweep
+from repro.scenarios import runner as runner_module
+from repro.service import (JobConflictError, QueueFullError, ServiceConfig,
+                           SweepService, UnknownJobError)
+from repro.service.jobs import DONE, QUEUED, RUNNING, JobStore
+
+#: Same scale (and therefore the same cached traces) as the scenario
+#: runner tests: two trace groups (cores) x two engine lanes = 4 points.
+RAW_SPEC = {
+    "name": "svc",
+    "sweep": {
+        "workloads": ["dss-qry2"], "instructions": 30_000, "seeds": 3,
+        "cores": 2, "cache": {"kb": 16},
+        "engines": ["next-line",
+                    {"name": "pif", "params": {"sab_count": 4,
+                                               "sab_window_regions": 3}}],
+    },
+}
+
+quiet = {"log": lambda event: None}
+
+
+def wait_for(predicate, timeout=120.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    pytest.fail(f"timed out waiting for {message}")
+
+
+def make_service(tmp_path, name="data", **config):
+    events = []
+    service = SweepService(
+        ServiceConfig(data_dir=str(tmp_path / name), **config),
+        log=events.append)
+    return service, events
+
+
+class TestQueueSemantics:
+    def test_submit_validates_at_the_boundary(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        with pytest.raises(SpecError, match="sweep.workloads"):
+            service.submit({"name": "bad",
+                            "sweep": {"instructions": 1000,
+                                      "engines": ["next-line"]}})
+        assert service.jobs() == []  # nothing persisted for a bad spec
+
+    def test_backpressure(self, tmp_path):
+        # Worker never started: jobs stay queued and fill the bound.
+        service, _ = make_service(tmp_path, queue_depth=1)
+        service.submit(RAW_SPEC)
+        with pytest.raises(QueueFullError, match="queue is full"):
+            service.submit(RAW_SPEC)
+
+    def test_cancel_queued_only(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        job = service.submit(RAW_SPEC)
+        cancelled = service.cancel(job.id)
+        assert cancelled.state == "cancelled"
+        assert JobStore(service.config.data_dir).load(job.id).state \
+            == "cancelled"
+        with pytest.raises(JobConflictError, match="only queued"):
+            service.cancel(job.id)
+        with pytest.raises(UnknownJobError):
+            service.cancel("job-999999-00000000")
+        # The cancelled job released its queue slot.
+        assert service.queue_available() == service.config.queue_depth
+
+    def test_counts_and_listing(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        first = service.submit(RAW_SPEC)
+        second = service.submit(RAW_SPEC)
+        service.cancel(second.id)
+        assert service.counts() == {"queued": 1, "cancelled": 1}
+        assert [job.id for job in service.jobs()] == [first.id, second.id]
+
+
+class TestLifecycle:
+    def test_job_runs_to_done_and_matches_cli(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        service.start()
+        try:
+            job = service.submit(RAW_SPEC)
+            wait_for(lambda: service.get(job.id).state == DONE,
+                     message="job completion")
+        finally:
+            service.stop()
+        summary = service.sweep_summary(service.get(job.id))
+        assert summary["complete"] and summary["computed"] == 4
+
+        # The service's store is byte-identical to the CLI's.
+        ref = tmp_path / "ref"
+        run_sweep(parse_spec(RAW_SPEC), ref, **quiet)
+        served = ResultsStore(service.store.sweep_dir(job.id))
+        assert served.records_path.read_bytes() \
+            == ResultsStore(ref).records_path.read_bytes()
+        assert served.scenario_path.read_bytes() \
+            == ResultsStore(ref).scenario_path.read_bytes()
+
+    def test_failed_job_keeps_worker_alive(self, tmp_path, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("engine room on fire")
+
+        service, _ = make_service(tmp_path)
+        monkeypatch.setattr(runner_module, "run_multi_prefetch_simulation",
+                            boom)
+        service.start()
+        try:
+            job = service.submit(RAW_SPEC)
+            wait_for(lambda: service.get(job.id).state == "failed",
+                     message="job failure")
+            assert "engine room on fire" in service.get(job.id).error
+            # Worker survived; a healthy job still completes.
+            monkeypatch.undo()
+            second = service.submit(RAW_SPEC)
+            wait_for(lambda: service.get(second.id).state == DONE,
+                     message="recovery after failure")
+        finally:
+            service.stop()
+
+
+class TestGracefulStop:
+    def test_stop_mid_sweep_checkpoints_and_requeues(self, tmp_path):
+        """Stop after the first trace group: the group's records are in
+        the store, the job is back to queued, and a fresh service on
+        the same data dir finishes with zero recomputation, ending
+        byte-identical to an uninterrupted run."""
+        holder = {}
+
+        def stop_after_first_group(event):
+            if event["event"] == "sweep-progress" \
+                    and "[1/" in event.get("line", ""):
+                holder["service"].request_stop()
+
+        service = SweepService(
+            ServiceConfig(data_dir=str(tmp_path / "data")),
+            log=stop_after_first_group)
+        holder["service"] = service
+        service.start()
+        job = service.submit(RAW_SPEC)
+        wait_for(lambda: service.get(job.id).state in (QUEUED, DONE)
+                 and service.get(job.id).computed > 0,
+                 message="graceful checkpoint")
+        service.stop(wait=True)
+
+        persisted = JobStore(service.config.data_dir).load(job.id)
+        assert persisted.state == QUEUED  # re-queued, not failed
+        store = ResultsStore(service.store.sweep_dir(job.id))
+        partial = store.records_path.read_bytes()
+        assert persisted.computed == 2  # exactly the first group's lanes
+        assert len(partial.splitlines()) == 2
+
+        # Restart on the same data dir: recovery must resume, not redo.
+        lanes_walked = []
+        real = runner_module.run_multi_prefetch_simulation
+
+        def counting(bundle, prefetchers, *args, **kwargs):
+            lanes_walked.append(len(prefetchers))
+            return real(bundle, prefetchers, *args, **kwargs)
+
+        resumed, _ = make_service(tmp_path, name="data")
+        try:
+            runner_module.run_multi_prefetch_simulation = counting
+            resumed.start()
+            wait_for(lambda: resumed.get(job.id).state == DONE,
+                     message="resumed completion")
+        finally:
+            runner_module.run_multi_prefetch_simulation = real
+            resumed.stop()
+        assert sum(lanes_walked) == 2  # only the missing group's lanes
+
+        final = store.records_path.read_bytes()
+        assert final.startswith(partial)
+        ref = tmp_path / "ref"
+        run_sweep(parse_spec(RAW_SPEC), ref, **quiet)
+        assert final == ResultsStore(ref).records_path.read_bytes()
+
+
+class TestCrashRecovery:
+    def test_kill_dash_nine_resumes_with_zero_recompute(self, tmp_path):
+        """Simulate the on-disk state a `kill -9`'d daemon leaves — a
+        `running` job file plus a partially filled store — and assert a
+        restarted service finishes the sweep without recomputing any
+        stored point."""
+        data_dir = tmp_path / "data"
+        store = JobStore(data_dir)
+        job = store.create(RAW_SPEC, "svc", jobs=1)
+        job.state = RUNNING  # what the dead process left behind
+        store.save(job)
+        partial = run_sweep(parse_spec(RAW_SPEC), store.sweep_dir(job.id),
+                            limit=2, **quiet)
+        assert (partial.computed, partial.remaining) == (2, 2)
+        before = ResultsStore(store.sweep_dir(job.id)
+                              ).records_path.read_bytes()
+
+        lanes_walked = []
+        real = runner_module.run_multi_prefetch_simulation
+
+        def counting(bundle, prefetchers, *args, **kwargs):
+            lanes_walked.append(len(prefetchers))
+            return real(bundle, prefetchers, *args, **kwargs)
+
+        events = []
+        service = SweepService(ServiceConfig(data_dir=str(data_dir)),
+                               log=events.append)
+        try:
+            runner_module.run_multi_prefetch_simulation = counting
+            service.start()
+            wait_for(lambda: service.get(job.id).state == DONE,
+                     message="crash recovery")
+        finally:
+            runner_module.run_multi_prefetch_simulation = real
+            service.stop()
+
+        assert {"event": "job-recovered", "job": job.id} in events
+        assert sum(lanes_walked) == 2  # zero stored points recomputed
+        after = ResultsStore(store.sweep_dir(job.id)
+                             ).records_path.read_bytes()
+        assert after.startswith(before)
+        ref = tmp_path / "ref"
+        run_sweep(parse_spec(RAW_SPEC), ref, **quiet)
+        assert after == ResultsStore(ref).records_path.read_bytes()

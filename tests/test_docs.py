@@ -1,4 +1,5 @@
-"""Docs check: the README's command blocks must stay runnable.
+"""Docs check: the README's command blocks must stay runnable, and
+docs/api.md must match the service's actual HTTP contract.
 
 Every ``repro ...`` and ``python -m repro.experiments ...`` line inside
 a fenced code block of README.md is parsed through the real argument
@@ -7,8 +8,16 @@ without executing anything), and every ``examples/`` path a command
 references must exist.  A README that drifts from the CLI — a renamed
 flag, a deleted subcommand, a moved scenario file — fails here, in
 tier-1, before a user ever copy-pastes it.
+
+docs/api.md gets the same treatment against
+:mod:`repro.service.schemas`: its ``### METHOD /path`` headings must
+equal the route table, and every fenced ``json schema=NAME`` example
+must satisfy that response schema — the schemas live responses are
+built from — so the documented examples and the wire format cannot
+diverge.
 """
 
+import json
 import re
 import shlex
 
@@ -100,6 +109,92 @@ class TestDesignDocs:
             assert needle in design, f"DESIGN.md scenario section lost "\
                                      f"{needle!r}"
 
+    def test_design_covers_service(self, repo_root):
+        design = (repo_root / "DESIGN.md").read_text()
+        assert "## Sweep service" in design
+        for needle in ("byte-identical", "docs/api.md", "SIGTERM"):
+            assert needle in design, f"DESIGN.md service section lost "\
+                                     f"{needle!r}"
+        # The sweeps section points readers at the service layered on it.
+        scenarios = design.split("## Scenario sweeps", 1)[1]
+        scenarios = scenarios.split("\n## ", 1)[0]
+        assert "Sweep service" in scenarios
+
     def test_changes_has_entry_per_pr(self, repo_root):
         changes = (repo_root / "CHANGES.md").read_text()
         assert changes.count("- PR ") >= 4
+
+    def test_paper_summary_is_not_a_stub(self, repo_root):
+        """PAPER.md must actually summarize PIF: the mechanism names a
+        reader needs are non-negotiable."""
+        paper = (repo_root / "PAPER.md").read_text().replace("\n", " ")
+        for needle in ("retire", "stream address buffer",
+                       "spatial region", "temporal streaming"):
+            assert needle in paper, f"PAPER.md summary lost {needle!r}"
+
+
+_API_HEADING = re.compile(r"^### (GET|POST|DELETE|PUT|PATCH) (\S+)$",
+                          re.MULTILINE)
+_API_EXAMPLE = re.compile(r"```json schema=([a-z]+)\n(.*?)```", re.DOTALL)
+
+
+class TestApiDocs:
+    """docs/api.md ⇔ repro.service.schemas, both directions."""
+
+    @pytest.fixture(scope="class")
+    def api_doc(self, repo_root):
+        return (repo_root / "docs" / "api.md").read_text()
+
+    def test_documented_routes_equal_route_table(self, api_doc):
+        from repro.service.schemas import ROUTES
+
+        documented = set(_API_HEADING.findall(api_doc))
+        actual = {(route.method, route.pattern) for route in ROUTES}
+        assert documented == actual, (
+            f"docs/api.md headings vs ROUTES: undocumented "
+            f"{sorted(actual - documented)}, phantom "
+            f"{sorted(documented - actual)}")
+
+    def test_json_examples_satisfy_response_schemas(self, api_doc):
+        from repro.service.schemas import validate_payload
+
+        examples = _API_EXAMPLE.findall(api_doc)
+        assert len(examples) >= 5, "docs/api.md lost its JSON examples"
+        for schema, block in examples:
+            payload = json.loads(block)  # example must be valid JSON
+            validate_payload(schema, payload)
+
+    def test_every_json_schema_is_exemplified(self, api_doc):
+        from repro.service.schemas import RESPONSE_SCHEMAS
+
+        shown = {schema for schema, _ in _API_EXAMPLE.findall(api_doc)}
+        assert shown == set(RESPONSE_SCHEMAS), (
+            f"docs/api.md examples cover {sorted(shown)}, schemas are "
+            f"{sorted(RESPONSE_SCHEMAS)}")
+
+    def test_documented_error_statuses_are_the_emitted_ones(self, api_doc):
+        """The error table must list exactly the statuses the HTTP
+        layer can produce (grepped from the handler source, the same
+        trick the README env-knob test uses)."""
+        import inspect
+
+        from repro.service import http as http_module
+
+        source = inspect.getsource(http_module)
+        emitted = {int(code) for code in
+                   re.findall(r"_json_response\(\s*(\d{3})", source)}
+        emitted -= {200, 202}
+        table_rows = re.findall(r"^\| (\d{3}) \|", api_doc, re.MULTILINE)
+        assert {int(code) for code in table_rows} == emitted
+
+    def test_serve_commands_parse(self, api_doc):
+        for block in _FENCE.findall(api_doc):
+            for line in block.splitlines():
+                if not line.strip().startswith("repro "):
+                    continue  # prose/curl/layout lines share the fences
+                tokens = shlex.split(line.strip())
+                try:
+                    cli_parser().parse_args(tokens[1:])
+                except SystemExit as error:
+                    pytest.fail(f"docs/api.md command does not parse: "
+                                f"{line.strip()!r} (exit {error.code})")
