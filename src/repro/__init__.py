@@ -31,7 +31,7 @@ from .prefetch import make_prefetcher
 from .trace.bundle import TraceBundle
 from .workloads.spec import PAPER_WORKLOADS, WORKLOAD_NAMES, get_spec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BranchPredictorConfig",

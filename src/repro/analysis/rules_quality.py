@@ -1,9 +1,12 @@
-"""Code-quality and hot-path rules: RL005-RL008.
+"""Code-quality and hot-path rules: RL005-RL009.
 
 RL005/RL007 are correctness hygiene (shared mutable defaults, contract
 errors swallowed on the floor); RL006/RL008 protect the measured
 kernels — allocation churn inside ``# reprolint: hot`` loops, and
-float drift on counters the paper defines as integral event counts.
+float drift on counters the paper defines as integral event counts;
+RL009 protects the failure model — broad ``except`` in the
+fault-injection/retry paths could swallow an injected fault and fake
+chaos-test coverage.
 """
 
 from __future__ import annotations
@@ -245,6 +248,61 @@ class FloatCounterRule(Rule):
                     f"'{target_name}' looks like an event counter; "
                     "accumulate it as int (float increments drift and "
                     "break cross-host equality)")
+
+
+#: Exception names a handler in the failure-model paths may not catch
+#: wholesale without a re-raise (or an explicit suppression).
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+@register
+class BroadExceptRetryPathRule(Rule):
+    """RL009: broad ``except`` without re-raise in failure-model paths.
+
+    The fault harness proves the stack survives injected failures; a
+    ``except Exception`` (or bare ``except``) that does not re-raise,
+    sitting in the injection/retry/quarantine machinery itself, can
+    absorb the injected fault and make chaos tests pass vacuously.
+    Scope: :mod:`repro.faults`, the pool fan-out, the sweep runner and
+    verifier, and the service.  Handlers that re-raise (even
+    conditionally) pass; sanctioned last-resort boundaries — the
+    quarantine converter, the HTTP 500 catch-all, the job-survival
+    wrapper — carry suppressions stating why swallowing is the
+    contract there.
+    """
+
+    code = "RL009"
+    name = "broad-except-in-retry-path"
+    summary = "broad except without re-raise in a fault/retry/service path"
+    scope = ("faults/", "experiments/parallel.py", "scenarios/runner.py",
+             "scenarios/verify.py", "service/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _catches_broadly(node.type):
+                continue
+            if any(isinstance(child, ast.Raise)
+                   for child in ast.walk(node)):
+                continue
+            yield ctx.finding(
+                self.code, node,
+                "broad except in a failure-model path can swallow an "
+                "injected fault; narrow it, re-raise, or suppress with "
+                "the boundary's rationale")
+
+
+def _catches_broadly(type_node: Optional[ast.AST]) -> bool:
+    if type_node is None:  # bare except
+        return True
+    candidates = list(type_node.elts) if isinstance(type_node, ast.Tuple) \
+        else [type_node]
+    for candidate in candidates:
+        name = dotted_name(candidate)
+        if name is not None and name.split(".")[-1] in _BROAD_EXCEPTIONS:
+            return True
+    return False
 
 
 def _augassign_target_name(target: ast.AST) -> Optional[str]:

@@ -21,9 +21,13 @@ Seven commands cover the everyday workflows:
   batches points sharing a trace into single multi-prefetcher walks,
   fans out with ``--jobs N|auto`` over the persistent worker pool
   (sharding wide trace groups), and checkpoints every completed point
-  so an interrupted sweep *resumes*; ``status`` reports completion
-  (``--format json`` for scripts); ``report`` renders markdown or CSV
-  summary tables;
+  so an interrupted sweep *resumes* (failed tasks are retried up to
+  ``--max-retries`` times, then quarantined — the sweep completes
+  degraded with exit code 3 and a rerun retries exactly the
+  quarantined set); ``status`` reports completion (``--format json``
+  for scripts); ``report`` renders markdown or CSV summary tables;
+  ``verify`` is the offline integrity checker (``--repair`` drops
+  corrupt/quarantined state so resume recomputes only what was lost);
 * ``serve``    — the sweep-service daemon (:mod:`repro.service`): a
   long-running HTTP API over the same resumable sweep engine — submit
   scenario specs, poll job status, fetch reports; jobs persist under
@@ -374,7 +378,11 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
 
     ``--limit N`` computes at most N new points this invocation (the
     sweep stays resumable); ``--jobs N`` fans trace groups out over N
-    processes — stored records are identical for any job count.
+    processes — stored records are identical for any job count;
+    ``--max-retries N`` bounds per-task retries before quarantine.
+    Exit codes: 0 complete, 1 incomplete (resumable), 2 usage, 3
+    complete but *degraded* — quarantined groups are named on stdout
+    and retried by the next run.
     """
     from .scenarios import run_sweep
 
@@ -384,18 +392,69 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
     if args.limit is not None and args.limit < 0:
         print("--limit cannot be negative", file=sys.stderr)
         return 2
+    if args.max_retries < 0:
+        print("--max-retries cannot be negative", file=sys.stderr)
+        return 2
     spec = _load_sweep_spec(args)
     if spec is None:
         return 2
     summary = run_sweep(spec, args.out, jobs=args.jobs, limit=args.limit,
-                        kernel=args.kernel)
+                        kernel=args.kernel, max_retries=args.max_retries)
     print(f"{summary.computed} points computed, {summary.skipped} already "
           f"stored, {summary.remaining} remaining")
+    if summary.degraded():
+        print(f"sweep degraded: {summary.failed} points quarantined in "
+              f"{len(summary.quarantined)} groups: "
+              + ", ".join(summary.quarantined))
+        print("rerun to retry exactly the quarantined set",
+              file=sys.stderr)
+        return 3
     if not summary.complete():
         print(f"sweep incomplete; rerun `repro sweep run --spec ... --out "
               f"{args.out}` to resume", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_sweep_verify(args: argparse.Namespace) -> int:
+    """Offline integrity check of a sweep directory (and trace store).
+
+    Exit 0 when clean, 1 when integrity errors were found (corrupt or
+    quarantined records, damaged sidecar lines, unreadable plan caches
+    or trace archives), 2 on usage errors.  ``--repair`` rewrites the
+    stores canonically, dropping everything damaged so the next run
+    recomputes exactly what was lost; see DESIGN.md "Failure model".
+    """
+    from .scenarios import ResultsStore, format_report, verify_store
+
+    spec = None
+    if args.spec is not None:
+        spec = _load_sweep_spec(args)
+        if spec is None:
+            return 2
+    else:
+        from .scenarios import SpecError, parse_spec
+
+        store = ResultsStore(args.out)
+        try:
+            spec = parse_spec(store.load_scenario())
+        except FileNotFoundError:
+            spec = None  # verify still runs schema/hash checks
+        # reprolint: disable=RL007 - a corrupt recorded scenario must not stop the fsck; membership checks are skipped and the corruption is reported
+        except SpecError:
+            spec = None
+    report = verify_store(spec, args.out, repair=args.repair)
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [finding._asdict()
+                         for finding in report.findings],
+            "checked": report.checked,
+            "repaired": report.repaired,
+            "clean": report.clean(),
+        }, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    return 0 if report.clean() else 1
 
 
 def cmd_sweep_status(args: argparse.Namespace) -> int:
@@ -618,7 +677,31 @@ def build_parser() -> argparse.ArgumentParser:
                                 "metrics are bit-identical — records "
                                 "differ only in the kernel provenance "
                                 "field)")
+    sweep_run.add_argument("--max-retries", type=int, default=2,
+                           help="retries per failed trace-group task "
+                                "before it is quarantined as failed "
+                                "records (default: 2; a later run "
+                                "retries exactly the quarantined set)")
     sweep_run.set_defaults(func=cmd_sweep_run)
+
+    sweep_verify = sweep_commands.add_parser(
+        "verify", help="offline integrity check of a sweep directory")
+    _add_out(sweep_verify)
+    sweep_verify.add_argument("--spec", default=None,
+                              help="scenario file (default: the "
+                                   "scenario.json recorded by run; "
+                                   "enables membership checks)")
+    sweep_verify.add_argument("--repair", action="store_true",
+                              help="rewrite the stores canonically, "
+                                   "dropping corrupt/quarantined/stale "
+                                   "records and deleting unreadable "
+                                   "caches so the next run recomputes "
+                                   "exactly what was lost")
+    sweep_verify.add_argument("--format", default="text",
+                              choices=("text", "json"),
+                              help="output format (json = machine-"
+                                   "readable findings)")
+    sweep_verify.set_defaults(func=cmd_sweep_verify)
 
     sweep_status = sweep_commands.add_parser(
         "status", help="show a sweep's completion state")

@@ -1,0 +1,26 @@
+"""Deterministic fault-injection harness (see :mod:`.plan`).
+
+Public surface::
+
+    from repro.faults import fire, FaultPlan, install, reset
+
+Sites call ``fire("site.name", key)``; operators arm plans through the
+``REPRO_FAULT_PLAN`` environment variable; tests arm them in-process
+with :func:`install`.  DESIGN.md "Failure model" documents the
+registered sites and the hardening each one exercises.
+"""
+
+from .plan import (FAULT_PLAN_ENV, KILL_EXIT_CODE, Fault, FaultPlan,
+                   FaultPlanError, InjectedFault, fire, install, reset)
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "KILL_EXIT_CODE",
+    "Fault",
+    "FaultPlan",
+    "FaultPlanError",
+    "InjectedFault",
+    "fire",
+    "install",
+    "reset",
+]

@@ -1,0 +1,282 @@
+"""Deterministic fault injection: parse a plan, arm it, fire sites.
+
+A *fault plan* is a small spec — JSON or YAML, inline or a file path,
+delivered through ``REPRO_FAULT_PLAN`` — that makes the execution stack
+fail in precisely chosen places::
+
+    {"faults": [
+      {"site": "worker.task", "action": "kill", "match": "s3:",
+       "times": null},
+      {"site": "sidecar.append", "action": "truncate"}
+    ]}
+
+Each entry arms one :class:`Fault`:
+
+* ``site`` — which registered injection point it applies to (see the
+  table in DESIGN.md "Failure model"; e.g. ``worker.task``,
+  ``trace.open``, ``results.append``, ``plans.load``).
+* ``action`` — ``kill`` (``os._exit(86)`` — a segfault stand-in),
+  ``raise`` (throw from the site), or ``truncate``/``corrupt`` (the
+  site receives the fault back and damages its own payload, so the
+  torn-write/corrupt-cache shape is realistic for that file format).
+* ``match`` — substring the site's *key* (a deterministic description
+  of the specific call: task identity, file name) must contain.  Site
+  keys embed the attempt counter (``...:attempt=0``), so a plan can
+  kill only first attempts (transient fault) or every attempt
+  (poisoned task).
+* ``after`` — skip the first N matching hits (fire on the N+1th).
+* ``times`` — fire at most this many times per process (default 1;
+  ``null`` = unlimited).
+* ``exception`` — for ``raise``: ``injected`` (default,
+  :class:`InjectedFault`) or ``format``
+  (:class:`repro.trace.serialize.TraceFormatError`, exercising the
+  self-heal paths that catch exactly that type).
+
+Determinism: a plan carries no randomness and no clocks — whether a
+site fires depends only on the plan and the per-process sequence of
+matching hits, so a faulted run is exactly reproducible.  Counters are
+per process; pool workers re-arm the plan in their initializer
+(:func:`repro.experiments.parallel._attach_worker` calls
+:func:`reset`), so forked workers do not inherit the parent's spent
+counters.
+
+With ``REPRO_FAULT_PLAN`` unset, :func:`fire` is a no-op cheap enough
+for hot paths (one global load and a None check).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, NamedTuple, Optional, Tuple
+
+#: Environment variable naming (or inlining) the active fault plan.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit code of a ``kill`` fault — distinguishable from every exit code
+#: the repo's own CLIs use, so tests can assert the injected death.
+KILL_EXIT_CODE = 86
+
+_ACTIONS = ("kill", "raise", "truncate", "corrupt")
+_EXCEPTIONS = ("injected", "format")
+
+
+class FaultPlanError(ValueError):
+    """A fault plan does not parse or validate (always raised loudly —
+    a silently ignored chaos plan would fake test coverage)."""
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise`` fault throws (default flavor)."""
+
+
+class Fault(NamedTuple):
+    """One armed fault (see module docstring for field semantics)."""
+
+    site: str
+    action: str
+    match: str = ""
+    after: int = 0
+    times: Optional[int] = 1
+    exception: str = "injected"
+
+
+class FaultPlan(NamedTuple):
+    """A validated, immutable set of faults."""
+
+    faults: Tuple[Fault, ...]
+
+    @classmethod
+    def parse(cls, raw: Any) -> "FaultPlan":
+        """Validate a decoded plan document; raises FaultPlanError."""
+        if not isinstance(raw, dict):
+            raise FaultPlanError(
+                f"fault plan must be an object, got {type(raw).__name__}")
+        unknown = sorted(set(raw) - {"faults"})
+        if unknown:
+            raise FaultPlanError(f"unknown fault-plan keys: {unknown}")
+        entries = raw.get("faults")
+        if not isinstance(entries, list):
+            raise FaultPlanError("fault plan needs a 'faults' list")
+        return cls(tuple(_parse_fault(index, entry)
+                         for index, entry in enumerate(entries)))
+
+    @classmethod
+    def from_text(cls, text: str, yaml_hint: bool = False) -> "FaultPlan":
+        """Parse plan text (JSON, or YAML when hinted/available)."""
+        if yaml_hint:
+            try:
+                import yaml
+            except ImportError:
+                raise FaultPlanError(
+                    "YAML fault plans need pyyaml; use JSON") from None
+            try:
+                return cls.parse(yaml.safe_load(text))
+            except yaml.YAMLError as error:
+                raise FaultPlanError(
+                    f"fault plan is not valid YAML: {error}") from error
+        try:
+            return cls.parse(json.loads(text))
+        except json.JSONDecodeError as error:
+            raise FaultPlanError(
+                f"fault plan is not valid JSON: {error}") from error
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan ``REPRO_FAULT_PLAN`` names, or None when unset.
+
+        The value is either inline JSON (starts with ``{``) or a path;
+        ``.yaml``/``.yml`` paths parse as YAML, everything else as
+        JSON.  Missing files and invalid plans raise
+        :class:`FaultPlanError`.
+        """
+        # The harness is configured by its environment by design; this
+        # is the one sanctioned read (workers re-apply the parent's
+        # snapshot before re-reading, like the trace-store variables).
+        # reprolint: disable=RL004 - the fault plan is defined by this variable
+        value = os.environ.get(FAULT_PLAN_ENV)
+        if not value:
+            return None
+        if value.lstrip().startswith("{"):
+            return cls.from_text(value)
+        path = Path(value)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise FaultPlanError(
+                f"cannot read fault plan {value!r}: {error}") from error
+        return cls.from_text(text,
+                             yaml_hint=path.suffix in (".yaml", ".yml"))
+
+
+def _parse_fault(index: int, entry: Any) -> Fault:
+    label = f"faults[{index}]"
+    if not isinstance(entry, dict):
+        raise FaultPlanError(f"{label} must be an object")
+    unknown = sorted(set(entry) - {"site", "action", "match", "after",
+                                   "times", "exception"})
+    if unknown:
+        raise FaultPlanError(f"{label} has unknown keys: {unknown}")
+    site = entry.get("site")
+    if not isinstance(site, str) or not site:
+        raise FaultPlanError(f"{label} needs a non-empty 'site' string")
+    action = entry.get("action")
+    if action not in _ACTIONS:
+        raise FaultPlanError(f"{label} action must be one of "
+                             f"{list(_ACTIONS)}, got {action!r}")
+    match = entry.get("match", "")
+    if not isinstance(match, str):
+        raise FaultPlanError(f"{label} 'match' must be a string")
+    after = entry.get("after", 0)
+    if not isinstance(after, int) or isinstance(after, bool) or after < 0:
+        raise FaultPlanError(f"{label} 'after' must be an integer >= 0")
+    times = entry.get("times", 1)
+    if times is not None and (not isinstance(times, int)
+                              or isinstance(times, bool) or times < 1):
+        raise FaultPlanError(f"{label} 'times' must be an integer >= 1 "
+                             "or null (unlimited)")
+    exception = entry.get("exception", "injected")
+    if exception not in _EXCEPTIONS:
+        raise FaultPlanError(f"{label} exception must be one of "
+                             f"{list(_EXCEPTIONS)}, got {exception!r}")
+    return Fault(site=site, action=action, match=match, after=after,
+                 times=times, exception=exception)
+
+
+class _Injector:
+    """Per-process firing state over one plan: hit and fire counters
+    per fault entry, advanced deterministically on every matching
+    :func:`fire` call."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._hits: Dict[int, int] = {}
+        self._fired: Dict[int, int] = {}
+
+    def fire(self, site: str, key: str) -> Optional[Fault]:
+        for index, fault in enumerate(self.plan.faults):
+            if fault.site != site or fault.match not in key:
+                continue
+            hits = self._hits.get(index, 0)
+            self._hits[index] = hits + 1
+            if hits < fault.after:
+                continue
+            fired = self._fired.get(index, 0)
+            if fault.times is not None and fired >= fault.times:
+                continue
+            self._fired[index] = fired + 1
+            return _trigger(fault, site, key)
+        return None
+
+
+def _trigger(fault: Fault, site: str, key: str) -> Optional[Fault]:
+    if fault.action == "kill":
+        # A stand-in for a segfaulting/OOM-killed worker: no cleanup,
+        # no Python-level exception, the process is simply gone.
+        os._exit(KILL_EXIT_CODE)
+    if fault.action == "raise":
+        message = f"injected fault at {site} ({key})"
+        if fault.exception == "format":
+            from ..trace.serialize import TraceFormatError
+
+            raise TraceFormatError(message)
+        raise InjectedFault(message)
+    # truncate/corrupt: handed back to the site, which damages its own
+    # payload in the format-appropriate way.
+    return fault
+
+
+#: (injector, loaded) — ``loaded`` distinguishes "no plan" from "not
+#: yet read from the environment".
+_injector: Optional[_Injector] = None
+_loaded = False
+
+
+def _active() -> Optional[_Injector]:
+    global _injector, _loaded
+    if not _loaded:
+        plan = FaultPlan.from_env()
+        _injector = _Injector(plan) if plan and plan.faults else None
+        _loaded = True
+    return _injector
+
+
+def fire(site: str, key: str) -> Optional[Fault]:
+    """Consult the active plan at an injection point.
+
+    ``key`` deterministically describes this specific call (task
+    identity, file name, attempt counter).  Returns None (the common
+    case: no plan, or nothing matched), returns the matched
+    ``truncate``/``corrupt`` fault for the site to apply, raises for
+    ``raise`` faults, or exits the process for ``kill`` faults.
+    """
+    injector = _active()
+    if injector is None:
+        return None
+    return injector.fire(site, key)
+
+
+def reset() -> None:
+    """Drop the cached plan and all counters; the next :func:`fire`
+    re-reads ``REPRO_FAULT_PLAN``.  Pool-worker initializers call this
+    so forked workers arm a fresh plan instead of inheriting the
+    parent's spent counters."""
+    global _injector, _loaded
+    _injector = None
+    _loaded = False
+
+
+@contextmanager
+def install(plan: Optional[FaultPlan]) -> Iterator[None]:
+    """Arm ``plan`` (None disarms) for the duration of the block —
+    the in-process path tests use instead of the environment."""
+    global _injector, _loaded
+    previous = (_injector, _loaded)
+    _injector = _Injector(plan) if plan and plan.faults else None
+    _loaded = True
+    try:
+        yield
+    finally:
+        _injector, _loaded = previous

@@ -14,7 +14,9 @@ their parameter grids — into an executed, resumable sweep:
 * :mod:`repro.scenarios.runner` — expansion → batched single-pass
   multi-prefetcher walks (one walk per trace) → process fan-out, with
   per-group checkpointing;
-* :mod:`repro.scenarios.report` — status, markdown and CSV summaries.
+* :mod:`repro.scenarios.report` — status, markdown and CSV summaries;
+* :mod:`repro.scenarios.verify` — the offline integrity checker behind
+  ``repro sweep verify`` (fsck + ``--repair``).
 
 Checked-in scenarios live in ``examples/scenarios/``; the CLI surface
 is ``repro sweep run|status|report``.  DESIGN.md ("Scenario sweeps")
@@ -28,6 +30,7 @@ from .results import BaselineSidecar, ResultsStore
 from .runner import SweepRunSummary, run_sweep
 from .spec import (ScenarioSpec, SpecError, SweepPoint, load_spec,
                    parse_spec, point_hash)
+from .verify import VerifyFinding, VerifyReport, format_report, verify_store
 
 __all__ = [
     "BaselineSidecar",
@@ -36,9 +39,12 @@ __all__ = [
     "SpecError",
     "SweepPoint",
     "SweepRunSummary",
+    "VerifyFinding",
+    "VerifyReport",
     "coverage_matrix",
     "format_csv",
     "format_markdown",
+    "format_report",
     "format_status",
     "load_spec",
     "parse_spec",
@@ -46,4 +52,5 @@ __all__ = [
     "run_sweep",
     "status_summary",
     "summarize",
+    "verify_store",
 ]

@@ -103,8 +103,8 @@ def summarize(spec: ScenarioSpec, store: ResultsStore) -> SweepSummary:
         if key not in row_order:
             row_order.append(key)
         record = records.get(point_hash(point))
-        if record is None:
-            continue
+        if record is None or "metrics" not in record:
+            continue  # missing, or a quarantined ``failed`` record
         computed += 1
         buckets.setdefault((key, point.label), []).append(
             (point.core, record["metrics"]))
@@ -254,17 +254,22 @@ def status_summary(spec: ScenarioSpec, store: ResultsStore
 
     Fields: ``scenario``, ``store`` (directory path), ``points``
     (expanded count), ``cores``, ``engine_variants``, ``computed``,
-    ``missing``, ``stale`` (records from an older trace generator —
-    recomputed on the next run), ``foreign`` (records no current spec
-    point produces), and ``complete``.  This is the machine-readable
-    twin of :func:`format_status` (``repro sweep status --format
-    json``).
+    ``failed`` (quarantined points — the newest current-generator
+    record is a ``failed`` record; retried by the next run), ``missing``
+    (no current record at all), ``stale`` (records from an older trace
+    generator — recomputed on the next run), ``foreign`` (records no
+    current spec point produces), and ``complete``.  This is the
+    machine-readable twin of :func:`format_status` (``repro sweep
+    status --format json``).
     """
     points = spec.points()
     all_records = store.load()
     current = store.load_current()
     hashes = {point_hash(point) for point in points}
-    done = sum(1 for digest in hashes if digest in current)
+    done = sum(1 for digest in hashes
+               if digest in current and "failed" not in current[digest])
+    failed = sum(1 for digest in hashes
+                 if digest in current and "failed" in current[digest])
     stale = sum(1 for digest, record in all_records.items()
                 if digest in hashes and digest not in current)
     foreign = sum(1 for digest in all_records if digest not in hashes)
@@ -275,7 +280,8 @@ def status_summary(spec: ScenarioSpec, store: ResultsStore
         "cores": spec.cores,
         "engine_variants": len(spec.variants),
         "computed": done,
-        "missing": len(points) - done,
+        "failed": failed,
+        "missing": len(points) - done - failed,
         "stale": stale,
         "foreign": foreign,
         "complete": done == len(points),
@@ -287,6 +293,7 @@ def format_status(spec: ScenarioSpec, store: ResultsStore) -> str:
     summary = status_summary(spec, store)
     points = summary["points"]
     done = summary["computed"]
+    failed = summary["failed"]
     stale = summary["stale"]
     foreign = summary["foreign"]
     lines = [
@@ -296,14 +303,22 @@ def format_status(spec: ScenarioSpec, store: ResultsStore) -> str:
         f"({summary['cores']} cores x {summary['engine_variants']} "
         "engine variants)",
         f"computed   {done}",
-        f"missing    {points - done}",
+        f"missing    {summary['missing']}",
     ]
+    if failed:
+        lines.append(f"failed     {failed} (quarantined; retried by the "
+                     "next run)")
     if stale:
         lines.append(f"stale      {stale} (older trace generator; "
                      "will be recomputed)")
     if foreign:
         lines.append(f"foreign    {foreign} (records no current spec "
                      "point produces)")
-    lines.append("status     " + ("complete" if summary["complete"]
-                                  else "incomplete — rerun to resume"))
+    if summary["complete"]:
+        status = "complete"
+    elif failed:
+        status = "degraded — rerun to retry quarantined points"
+    else:
+        status = "incomplete — rerun to resume"
+    lines.append("status     " + status)
     return "\n".join(lines)

@@ -5,8 +5,9 @@ One sweep output directory holds three files:
 * ``scenario.json`` — the raw spec the sweep was launched with, written
   (atomically, overwriting) at the start of every ``run`` so ``status``
   and ``report`` work without the original scenario file;
-* ``results.jsonl`` — one JSON record per *completed* simulation point,
-  appended as each trace group finishes and flushed per line;
+* ``results.jsonl`` — one JSON record per *completed* simulation point
+  (or per *quarantined* point — a ``failed`` record, see the runner),
+  appended via fsync-and-rename as each trace group finishes;
 * ``baselines.jsonl`` — the no-prefetch baseline memo sidecar
   (:class:`BaselineSidecar`): one line per (trace content hash, cache
   geometry, replacement, warmup) baseline ever computed for this sweep
@@ -33,9 +34,11 @@ point whose record was lost.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, Tuple, Union
 
+from ..faults import fire
 from ..trace.store import generator_version_hash
 
 #: Record field holding the point hash.
@@ -48,6 +51,43 @@ GENERATOR_FIELD = "generator"
 def current_generator() -> str:
     """The generator-version prefix stamped into new records."""
     return generator_version_hash()[:12]
+
+
+def _atomic_append(path: Path, lines: Iterable[str], site: str) -> None:
+    """Append ``lines`` to the JSONL file at ``path`` atomically.
+
+    Write the full new contents to a scratch file in the same
+    directory, fsync it, and rename over the original (the same
+    discipline ``service/jobs.py`` uses) — a crash at any instant
+    leaves either the old file or the new one, never a partial line.
+    The read-side truncated-tail tolerance stays as defense in depth
+    against stores written by older versions or foreign tooling.
+
+    ``site`` is the fault-injection point for this write; a matching
+    ``truncate`` fault shears trailing bytes off the payload before it
+    lands, simulating exactly the torn write the atomic path is meant
+    to prevent (and that readers must still survive).
+    """
+    encoded = "".join(lines).encode("utf-8")
+    if not encoded:
+        return
+    try:
+        existing = path.read_bytes()
+    except FileNotFoundError:
+        existing = b""
+    payload = existing + encoded
+    fault = fire(site, path.name)
+    if fault is not None and fault.action == "truncate":
+        payload = payload[:max(len(existing), len(payload) - 7)]
+    scratch = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(scratch, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, path)
+    finally:
+        scratch.unlink(missing_ok=True)
 
 
 class ResultsStore:
@@ -81,24 +121,20 @@ class ResultsStore:
     # ------------------------------------------------------------------
 
     def append(self, record: Dict[str, Any]) -> None:
-        """Append one completed-point record (single write + flush)."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        with open(self.records_path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
+        """Append one completed-point record (atomic rewrite)."""
+        self.append_all([record])
 
     def append_all(self, records: Iterable[Dict[str, Any]]) -> None:
-        """Append several records in one open/flush cycle."""
+        """Append several records in one fsync-and-rename cycle."""
         records = list(records)
         if not records:
             return
         self.root.mkdir(parents=True, exist_ok=True)
-        with open(self.records_path, "a", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(json.dumps(record, sort_keys=True,
-                                        separators=(",", ":")) + "\n")
-            handle.flush()
+        _atomic_append(
+            self.records_path,
+            (json.dumps(record, sort_keys=True, separators=(",", ":"))
+             + "\n" for record in records),
+            site="results.append")
 
     def load(self) -> Dict[str, Dict[str, Any]]:
         """All readable records, newest-wins, keyed by point hash.
@@ -205,11 +241,12 @@ class BaselineSidecar:
         if not fresh:
             return 0
         self.root.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            for key, value in fresh.items():
-                handle.write(json.dumps(
-                    {"key": key, "baseline": value, "trace": list(trace)},
-                    sort_keys=True, separators=(",", ":")) + "\n")
-                known.add(key)
-            handle.flush()
+        _atomic_append(
+            self.path,
+            (json.dumps(
+                {"key": key, "baseline": value, "trace": list(trace)},
+                sort_keys=True, separators=(",", ":")) + "\n"
+             for key in sorted(fresh) for value in (fresh[key],)),
+            site="sidecar.append")
+        known.update(fresh)
         return len(fresh)

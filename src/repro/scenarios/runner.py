@@ -62,7 +62,9 @@ from typing import (Any, Callable, Dict, List, NamedTuple, Optional, Tuple,
                     Union)
 
 from ..common.config import CacheConfig, SystemConfig
-from ..experiments.parallel import parallel_imap, shutdown_shared_pool
+from ..experiments.parallel import (TaskFailure, parallel_imap,
+                                    shutdown_shared_pool)
+from ..faults import fire
 from ..pipeline.tracegen import cached_trace
 from ..sim.baseline import export_baseline_memo, seed_baseline_memo
 from ..sim.engine import resolve_kernel, run_multi_prefetch_simulation
@@ -75,6 +77,10 @@ from .spec import ScenarioSpec, SweepPoint, point_hash
 #: (oversubscription smooths unequal task costs across workers).
 SHARD_OVERSUBSCRIPTION = 2
 
+#: Default retry budget per trace-group task before quarantine
+#: (``repro sweep run --max-retries``).
+DEFAULT_MAX_RETRIES = 2
+
 
 @dataclass(slots=True)
 class SweepRunSummary:
@@ -84,10 +90,19 @@ class SweepRunSummary:
     skipped: int      #: points already stored (current generator)
     computed: int     #: points simulated by this invocation
     remaining: int    #: points still missing afterwards (``--limit`` runs)
+    failed: int = 0   #: points quarantined by this invocation (retries spent)
+    #: Trace-group names quarantined this invocation, first-failure order.
+    quarantined: Tuple[str, ...] = ()
 
     def complete(self) -> bool:
-        """True when every expanded point now has a stored record."""
+        """True when every expanded point now has a stored record —
+        successful *or* quarantined (nothing left to attempt)."""
         return self.remaining == 0
+
+    def degraded(self) -> bool:
+        """True when the sweep finished but quarantined points (the
+        ``repro sweep run`` exit-3 condition; a rerun retries them)."""
+        return self.complete() and self.failed > 0
 
 
 class _GroupTask(NamedTuple):
@@ -105,6 +120,10 @@ class _GroupTask(NamedTuple):
     #: Baseline-memo sidecar entries for *this task's trace*, seeded
     #: into the worker process (None on first runs; see BaselineSidecar).
     baselines: Optional[Dict[str, Dict[str, Any]]] = None
+    #: Retry generation: 0 on first submission, +1 per retry.  Part of
+    #: the ``worker.task`` fault key, so plans can target first
+    #: attempts only (transient fault) or every attempt (poison task).
+    attempt: int = 0
 
     def trace_key(self) -> Tuple[str, int, int, int]:
         """The trace identity tuple sidecar entries are scoped by."""
@@ -113,6 +132,19 @@ class _GroupTask(NamedTuple):
     def cost(self) -> int:
         """Scheduling cost estimate: trace length × lane count."""
         return self.instructions * len(self.lanes)
+
+    def group_name(self) -> str:
+        """Human-readable trace-group identity (shards share it) —
+        what quarantine messages and ``repro sweep run`` exit text
+        name."""
+        return (f"{self.workload}/i{self.instructions}/s{self.seed}"
+                f"/c{self.core}")
+
+    def fault_key(self) -> str:
+        """Deterministic ``worker.task`` injection key for this task."""
+        return (f"{self.workload}:i{self.instructions}:s{self.seed}:"
+                f"c{self.core}:w{self.warmup}:lanes{len(self.lanes)}:"
+                f"attempt={self.attempt}")
 
 
 def _cache_config(point: SweepPoint) -> CacheConfig:
@@ -133,6 +165,7 @@ def _run_group(task: _GroupTask
     are identical whichever worker runs them — and identical however
     the group was sharded, because lanes never observe each other.
     """
+    fire("worker.task", task.fault_key())
     if task.baselines:
         seed_baseline_memo(task.baselines)
     bundle = cached_trace(task.workload, task.instructions, task.seed,
@@ -192,8 +225,15 @@ def _run_group(task: _GroupTask
 
 def missing_points(spec: ScenarioSpec, store: ResultsStore
                    ) -> Tuple[List[Tuple[str, SweepPoint]], int]:
-    """(points without a current-generator record, count already done)."""
-    done = set(store.load_current())
+    """(points without a current-generator record, count already done).
+
+    A quarantined record (``"failed"`` instead of ``"metrics"``) does
+    *not* count as done: a rerun retries exactly the quarantined set,
+    and a success supersedes the failed record by newest-wins.
+    """
+    current = store.load_current()
+    done = {digest for digest, record in current.items()
+            if "failed" not in record}
     pending: List[Tuple[str, SweepPoint]] = []
     skipped = 0
     for point in spec.points():
@@ -203,6 +243,28 @@ def missing_points(spec: ScenarioSpec, store: ResultsStore
         else:
             pending.append((digest, point))
     return pending, skipped
+
+
+def _failed_records(task: _GroupTask, failure: TaskFailure,
+                    attempts: int) -> List[Dict[str, Any]]:
+    """Quarantine records for every lane of a spent task: same identity
+    envelope as success records, ``failed`` payload instead of
+    ``metrics``.  Every field is deterministic (attempt counters, the
+    constant worker-died text, injected-fault messages) so fault runs
+    stay byte-reproducible."""
+    generator = current_generator()
+    return [
+        {
+            "hash": digest,
+            "label": point.label,
+            "generator": generator,
+            "kernel": task.kernel,
+            "point": point.identity(),
+            "failed": {"attempts": attempts, "kind": failure.kind,
+                       "error": failure.error},
+        }
+        for digest, point in task.lanes
+    ]
 
 
 def _group_tasks(pending: List[Tuple[str, SweepPoint]],
@@ -262,8 +324,8 @@ def _shard_tasks(tasks: List[_GroupTask], jobs: int) -> List[_GroupTask]:
 def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
               limit: Optional[int] = None, kernel: Optional[str] = None,
               log: Optional[Callable[[str], None]] = None,
-              should_stop: Optional[Callable[[], bool]] = None
-              ) -> SweepRunSummary:
+              should_stop: Optional[Callable[[], bool]] = None,
+              max_retries: int = DEFAULT_MAX_RETRIES) -> SweepRunSummary:
     """Run (or resume) ``spec``, persisting results under ``out``.
 
     ``jobs`` fans tasks out over the persistent worker pool, sharding
@@ -282,11 +344,23 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
     store, queued tasks are cancelled, and the summary comes back with
     ``remaining > 0`` — the sweep resumes later exactly like one
     interrupted by ``--limit`` or a kill, recomputing nothing.
+
+    Failure model (DESIGN.md "Failure model"): a task that fails — its
+    worker died, or it raised — is retried up to ``max_retries`` times
+    (fresh task generation, same lanes).  A task that fails every
+    attempt is *quarantined*: one ``failed`` record per lane is
+    appended to the store (deterministic payload — attempt counts, the
+    constant worker-died text), the sweep keeps going, and the summary
+    reports ``failed`` / ``quarantined`` with ``degraded()`` true.
+    Quarantined points do not count as done on resume, so a later rerun
+    retries exactly that set and successes supersede by newest-wins.
     """
     if jobs <= 0:
         raise ValueError("jobs must be positive")
     if limit is not None and limit < 0:
         raise ValueError("limit cannot be negative")
+    if max_retries < 0:
+        raise ValueError("max_retries cannot be negative")
     # Resolve in the parent (failing fast on a bad selector): tasks must
     # carry the concrete kernel name, never a None a worker would resolve
     # against its own environment.
@@ -319,31 +393,65 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
          f"({skipped} stored, {len(selected)} to run in {len(tasks)} "
          f"tasks over {len(groups)} trace groups, jobs={jobs})")
     computed = 0
+    failed = 0
+    quarantined: List[str] = []
     started = time.monotonic()  # reprolint: disable=RL002 - progress timing; stderr only, never recorded
-    results = parallel_imap(_run_group, tasks, jobs=jobs)
-    if should_stop is not None and should_stop():
-        results.close()  # nothing dispatched yet; compute nothing
-        tasks = []
+    queue = tasks
+    stopped = False
     try:
-        for finished, (index, (records, baselines)) in enumerate(
-                results, start=1):
-            store.append_all(records)
-            task = tasks[index]
-            sidecar.append_missing(baselines, known_keys, task.trace_key())
-            computed += len(records)
-            elapsed = time.monotonic() - started  # reprolint: disable=RL002 - progress timing; stderr only, never recorded
-            emit(f"  [{finished}/{len(tasks)}] {task.workload} core "
-                 f"{task.core} seed {task.seed}: {len(records)} points "
-                 f"({elapsed:.1f}s elapsed)")
-            if should_stop is not None and finished < len(tasks) \
-                    and should_stop():
-                # Cooperative stop: everything completed so far is in
-                # the store; closing the iterator cancels the queued
-                # pool tasks (parallel_imap's early-close contract).
-                results.close()
-                emit(f"  stop requested; checkpointed after {finished} of "
-                     f"{len(tasks)} tasks")
+        while queue and not stopped:
+            retry: List[_GroupTask] = []
+            results = parallel_imap(_run_group, queue, jobs=jobs,
+                                    task_errors="yield")
+            if should_stop is not None and should_stop():
+                results.close()  # nothing dispatched yet; compute nothing
                 break
+            for finished, (index, outcome) in enumerate(results, start=1):
+                task = queue[index]
+                if isinstance(outcome, TaskFailure):
+                    if task.attempt < max_retries:
+                        retry.append(task._replace(
+                            attempt=task.attempt + 1))
+                        emit(f"  {task.group_name()} failed "
+                             f"({outcome.kind}); retry "
+                             f"{task.attempt + 1} of {max_retries} "
+                             "queued")
+                    else:
+                        records = _failed_records(task, outcome,
+                                                  task.attempt + 1)
+                        store.append_all(records)
+                        failed += len(records)
+                        name = task.group_name()
+                        if name not in quarantined:
+                            quarantined.append(name)
+                        emit(f"  quarantined {name} after "
+                             f"{task.attempt + 1} attempts: "
+                             f"{outcome.error}")
+                else:
+                    records, baselines = outcome
+                    store.append_all(records)
+                    sidecar.append_missing(baselines, known_keys,
+                                           task.trace_key())
+                    computed += len(records)
+                    elapsed = time.monotonic() - started  # reprolint: disable=RL002 - progress timing; stderr only, never recorded
+                    emit(f"  [{finished}/{len(queue)}] {task.workload} "
+                         f"core {task.core} seed {task.seed}: "
+                         f"{len(records)} points "
+                         f"({elapsed:.1f}s elapsed)")
+                if should_stop is not None and should_stop() and (
+                        finished < len(queue) or retry):
+                    # Cooperative stop: everything completed so far is
+                    # in the store; closing the iterator cancels the
+                    # queued pool tasks (parallel_imap's early-close
+                    # contract).  Retries are abandoned too — on resume
+                    # their points are still missing, not quarantined.
+                    results.close()
+                    stopped = True
+                    emit(f"  stop requested; checkpointed after "
+                         f"{finished} of {len(queue)} tasks")
+                    break
+            if not stopped:
+                queue = retry
     except BaseException:
         # The persistent pool has no per-call context manager to cancel
         # the queued tasks; don't leave abandoned simulations burning
@@ -352,4 +460,5 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
             shutdown_shared_pool()
         raise
     return SweepRunSummary(total=total, skipped=skipped, computed=computed,
-                           remaining=total - skipped - computed)
+                           remaining=total - skipped - computed - failed,
+                           failed=failed, quarantined=tuple(quarantined))

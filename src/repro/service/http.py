@@ -15,6 +15,9 @@ service's own lock.  Responsibilities:
   failures to 400 with the validator's message;
 * map service errors to status codes: ``UnknownJobError`` → 404,
   ``JobConflictError`` → 409, ``QueueFullError`` → 429;
+* convert any *unexpected* handler exception into the structured
+  ``internal_error`` document (500) plus a ``request-error`` log event
+  — never a raw traceback on the socket;
 * emit one structured log event per request (method, path, status,
   response bytes, wall-clock milliseconds).
 
@@ -36,7 +39,7 @@ from ..scenarios import (ResultsStore, SpecError, format_csv,
                          format_markdown, parse_spec, summarize)
 from ..scenarios.results import current_generator
 from .schemas import (match_route, payload_error, payload_health,
-                      payload_job, payload_jobs)
+                      payload_internal_error, payload_job, payload_jobs)
 from .service import (JobConflictError, QueueFullError, SweepService,
                       UnknownJobError)
 
@@ -112,6 +115,12 @@ class SweepRequestHandler(BaseHTTPRequestHandler):
         except SpecError as error:  # reprolint: disable=RL007 - HTTP boundary: surfaced to the client as a 400 with the validator's message
             status, body, content_type = self._json_response(
                 400, payload_error(f"invalid scenario: {error}"))
+        except Exception as error:  # reprolint: disable=RL009 - last-resort HTTP boundary: an unexpected handler bug becomes a structured 500 plus a request-error event instead of a raw traceback on the socket
+            status, body, content_type = self._json_response(
+                500, payload_internal_error(error))
+            self.server.service._event(
+                "request-error", method=method, path=split.path,
+                error=f"{type(error).__name__}: {error}")
         self._respond(status, body, content_type)
         elapsed_ms = (time.monotonic() - started) * 1000.0
         self.server.service._event(

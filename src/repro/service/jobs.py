@@ -26,7 +26,8 @@ and carry no wall-clock or ambient randomness.
 State machine (also documented in docs/api.md)::
 
     queued --> running --> done
-       |          |-----> failed
+       |          |-----> degraded   (complete, but some points were
+       |          |-----> failed      quarantined — see failed_points)
        |          '-----> queued     (graceful shutdown: checkpointed,
        '--> cancelled                 re-enqueued on the next start)
 
@@ -47,13 +48,14 @@ from typing import Any, Dict, List, Optional, Union
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
+DEGRADED = "degraded"
 FAILED = "failed"
 CANCELLED = "cancelled"
 
-STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+STATES = (QUEUED, RUNNING, DONE, DEGRADED, FAILED, CANCELLED)
 
 #: States a job can never leave.
-TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+TERMINAL_STATES = frozenset({DONE, DEGRADED, FAILED, CANCELLED})
 
 
 def spec_digest(raw_spec: Dict[str, Any]) -> str:
@@ -76,6 +78,9 @@ class Job:
     #: Points computed across this job's run() invocations (operator
     #: visibility only; the store is the source of truth).
     computed: int = field(default=0)
+    #: Points quarantined by the last run (``degraded`` terminal state;
+    #: a resubmitted or rerun sweep retries exactly those points).
+    failed_points: int = field(default=0)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -87,6 +92,7 @@ class Job:
             "jobs": self.jobs,
             "error": self.error,
             "computed": self.computed,
+            "failed_points": self.failed_points,
         }
 
     @classmethod
@@ -94,7 +100,8 @@ class Job:
         return cls(id=raw["id"], seq=raw["seq"], scenario=raw["scenario"],
                    state=raw["state"], raw_spec=raw["spec"],
                    jobs=raw["jobs"], error=raw.get("error"),
-                   computed=raw.get("computed", 0))
+                   computed=raw.get("computed", 0),
+                   failed_points=raw.get("failed_points", 0))
 
 
 class JobStoreError(RuntimeError):

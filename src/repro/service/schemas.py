@@ -84,29 +84,32 @@ def match_route(method: str, path: str
 # response schemas
 
 #: Per-state job counts embedded in health and job payloads.
-JOB_STATE_KEYS = frozenset({"queued", "running", "done", "failed",
-                            "cancelled"})
+JOB_STATE_KEYS = frozenset({"queued", "running", "done", "degraded",
+                            "failed", "cancelled"})
 
 #: Key set of the nested ``sweep`` object of a job payload — exactly
 #: the fields of :func:`repro.scenarios.report.status_summary` (the
 #: ``repro sweep status --format json`` document).
 SWEEP_SUMMARY_KEYS = frozenset({
     "scenario", "store", "points", "cores", "engine_variants",
-    "computed", "missing", "stale", "foreign", "complete",
+    "computed", "failed", "missing", "stale", "foreign", "complete",
 })
 
 #: Exact top-level key set of every JSON document the daemon emits.
 RESPONSE_SCHEMAS: Dict[str, frozenset] = {
     # one job: POST /v1/sweeps (202), GET/DELETE /v1/sweeps/{id}
     "job": frozenset({"id", "scenario", "state", "seq", "jobs", "error",
-                      "sweep"}),
+                      "failed_points", "sweep"}),
     # GET /v1/jobs
     "jobs": frozenset({"jobs", "count"}),
     # GET /v1/healthz
     "health": frozenset({"status", "version", "generator", "jobs",
                          "queue"}),
-    # every non-2xx body
+    # expected non-2xx bodies (validation, 404/405/409, bad JSON)
     "error": frozenset({"error"}),
+    # unexpected handler exceptions (500): the structured last-resort
+    # document, paired with a ``request-error`` service event
+    "internal_error": frozenset({"error", "detail"}),
 }
 
 #: Key set of one entry of the ``jobs`` list in the "jobs" schema.
@@ -168,6 +171,16 @@ def payload_error(message: str) -> Dict[str, Any]:
     return {"error": message}
 
 
+def payload_internal_error(error: BaseException) -> Dict[str, Any]:
+    """The "internal_error" document for an unexpected handler
+    exception: a stable marker plus the exception type and message (no
+    traceback — that goes to the server log, not the wire)."""
+    return {
+        "error": "internal server error",
+        "detail": f"{type(error).__name__}: {error}",
+    }
+
+
 def payload_job(job: Any, sweep: Optional[Dict[str, Any]]) -> Dict[str, Any]:
     """The "job" document for one :class:`repro.service.jobs.Job`."""
     return {
@@ -177,6 +190,7 @@ def payload_job(job: Any, sweep: Optional[Dict[str, Any]]) -> Dict[str, Any]:
         "seq": job.seq,
         "jobs": job.jobs,
         "error": job.error,
+        "failed_points": job.failed_points,
         "sweep": sweep,
     }
 

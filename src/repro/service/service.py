@@ -33,8 +33,9 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from ..faults import fire
 from ..scenarios import ResultsStore, parse_spec, run_sweep, status_summary
-from .jobs import (CANCELLED, DONE, FAILED, QUEUED, RUNNING,
+from .jobs import (CANCELLED, DEGRADED, DONE, FAILED, QUEUED, RUNNING,
                    TERMINAL_STATES, Job, JobStore)
 
 #: Default bound on the number of *queued* (not yet running) jobs.
@@ -268,11 +269,12 @@ class SweepService:
             self._event("sweep-progress", job=job.id, line=line)
 
         try:
+            fire("service.job", job.id)
             summary = run_sweep(parse_spec(job.raw_spec), out,
                                 jobs=job.jobs, kernel=self.config.kernel,
                                 log=sweep_log,
                                 should_stop=self._stop.is_set)
-        except Exception as error:  # worker must survive any job
+        except Exception as error:  # reprolint: disable=RL009 - last-resort job boundary: the worker thread must survive any job; the failure is recorded on the job, never swallowed
             with self._lock:
                 job.state = FAILED
                 job.error = f"{type(error).__name__}: {error}"
@@ -281,7 +283,15 @@ class SweepService:
             return
         with self._lock:
             job.computed += summary.computed
-            if summary.complete():
+            job.failed_points = summary.failed
+            if summary.degraded():
+                # Complete, but some points were quarantined (DESIGN.md
+                # "Failure model"): terminal, resubmittable — a rerun of
+                # the same spec retries exactly the quarantined set.
+                job.state = DEGRADED
+                job.error = ("sweep completed degraded: quarantined "
+                             + ", ".join(summary.quarantined))
+            elif summary.complete():
                 job.state = DONE
             elif self._stop.is_set():
                 # Graceful shutdown checkpointed mid-sweep: back on the
@@ -293,7 +303,8 @@ class SweepService:
                              "points remaining")
             self.store.save(job)
         self._event("job-finished", job=job.id, state=job.state,
-                    computed=summary.computed, remaining=summary.remaining)
+                    computed=summary.computed, remaining=summary.remaining,
+                    failed=summary.failed)
 
     # ------------------------------------------------------------------
 

@@ -300,6 +300,13 @@ def _load_sidecar(bundle: TraceBundle,
     path = _plan_path(bundle, params)
     if path is None or not path.exists():
         return None
+    from ..faults import fire
+
+    fault = fire("plans.load", path.name)
+    if fault is not None and fault.action == "corrupt":
+        # Damage the cached plan in place: the load below must treat it
+        # as a miss and the rebuild must overwrite it (self-heal).
+        path.write_bytes(b"corrupted-by-fault-plan")
     try:
         with np.load(path) as archive:
             at = archive["at"].tolist()

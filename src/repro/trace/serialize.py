@@ -43,6 +43,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..faults import fire
 from .bundle import TraceBundle
 
 _FORMAT_VERSION = 3
@@ -243,6 +244,7 @@ def load_bundle_extra(path: Union[str, Path],
     version-mismatched archive.
     """
     path = Path(path)
+    fire("trace.open", path.name)
     use_mmap = mmap_enabled() if mmap is None else mmap
     try:
         with zipfile.ZipFile(path) as archive:

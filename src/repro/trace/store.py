@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple, Union
 
+from ..faults import fire
 from . import serialize
 from .bundle import TraceBundle
 from .serialize import TraceFormatError, load_bundle_extra, save_bundle_atomic
@@ -186,6 +187,9 @@ class TraceStore:
         if not path.exists():
             return None
         try:
+            # ``exception: format`` faults fired here land in the
+            # TraceFormatError arm below — the self-heal contract.
+            fire("store.get", path.name)
             bundle, extra = load_bundle_extra(path)
         except FileNotFoundError:
             return None

@@ -68,7 +68,7 @@ class TestExitCodes:
         assert run_lint("--list-rules") == 0
         out = capsys.readouterr().out
         for code in ("RL001", "RL002", "RL003", "RL004",
-                     "RL005", "RL006", "RL007", "RL008"):
+                     "RL005", "RL006", "RL007", "RL008", "RL009"):
             assert code in out
 
 

@@ -295,6 +295,66 @@ class TestRL008FloatCounter:
         assert codes(source, "src/repro/experiments/mod.py") == []
 
 
+class TestRL009BroadExceptRetryPath:
+    SERVICE = "src/repro/service/mod.py"
+    SOURCE = ("def f():\n"
+              "    try:\n"
+              "        work()\n"
+              "    except Exception:\n"
+              "        pass\n")
+
+    def test_broad_except_in_retry_path_flagged(self):
+        assert codes(self.SOURCE, self.SERVICE) == ["RL009"]
+
+    def test_bare_except_flagged(self):
+        source = ("def f():\n"
+                  "    try:\n"
+                  "        work()\n"
+                  "    except:\n"
+                  "        pass\n")
+        assert codes(source, "src/repro/faults/mod.py") == ["RL009"]
+
+    def test_base_exception_in_tuple_flagged(self):
+        source = ("def f():\n"
+                  "    try:\n"
+                  "        work()\n"
+                  "    except (ValueError, BaseException):\n"
+                  "        pass\n")
+        assert codes(source, "src/repro/scenarios/runner.py") == ["RL009"]
+
+    def test_reraise_clean(self):
+        source = ("def f(strict):\n"
+                  "    try:\n"
+                  "        work()\n"
+                  "    except Exception:\n"
+                  "        if strict:\n"
+                  "            raise\n"
+                  "        log()\n")
+        assert codes(source, self.SERVICE) == []
+
+    def test_narrow_except_clean(self):
+        source = ("def f():\n"
+                  "    try:\n"
+                  "        work()\n"
+                  "    except OSError:\n"
+                  "        pass\n")
+        assert codes(source, self.SERVICE) == []
+
+    def test_outside_failure_model_paths_clean(self):
+        # Broad excepts elsewhere (e.g. the sim package) are RL009-free.
+        assert codes(self.SOURCE) == []
+        assert codes(self.SOURCE, TESTS) == []
+
+    def test_suppression_with_rationale_applies(self):
+        source = ("def f():\n"
+                  "    try:\n"
+                  "        work()\n"
+                  "    except Exception:  "
+                  "# reprolint: disable=RL009 - last-resort boundary\n"
+                  "        pass\n")
+        assert codes(source, self.SERVICE) == []
+
+
 class TestDirectivesAndMeta:
     def test_inline_suppression_applies(self):
         source = ("import random\n"

@@ -9,7 +9,10 @@ from repro.experiments.common import QUICK_CONFIG
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig10 import run_fig10
 from repro.experiments.parallel import (
+    WORKER_DIED,
     ExperimentPool,
+    TaskFailure,
+    WorkerCrashError,
     parallel_imap,
     parallel_map,
     resolve_jobs,
@@ -151,6 +154,59 @@ class TestPlumbing:
         pool = ExperimentPool(jobs=2)
         pool.close()
         pool.close()
+
+
+def _die_on_three(value):
+    """Module-level poison task: value 3 exits the worker like a
+    segfault (no exception, no cleanup); everything else doubles."""
+    if value == 3:
+        import os
+
+        os._exit(99)
+    return 2 * value
+
+
+def _raise_on_three(value):
+    if value == 3:
+        raise RuntimeError("task three is broken")
+    return 2 * value
+
+
+class TestWorkerDeath:
+    """The pool-survival contract: a dead worker costs one task slot,
+    never the batch (and never a hang, which is what
+    multiprocessing.Pool would do)."""
+
+    def teardown_method(self):
+        shutdown_shared_pool()
+
+    def test_yield_mode_converts_death_to_task_failure(self):
+        results = dict(parallel_imap(_die_on_three, [1, 2, 3, 4, 5],
+                                     jobs=2, task_errors="yield"))
+        assert results[2] == TaskFailure("worker-died", WORKER_DIED)
+        for index, value in enumerate([1, 2, 3, 4, 5]):
+            if index != 2:
+                assert results[index] == 2 * value
+
+    def test_raise_mode_raises_worker_crash_error(self):
+        with pytest.raises(WorkerCrashError, match="isolation"):
+            list(parallel_imap(_die_on_three, [1, 2, 3, 4, 5], jobs=2))
+
+    def test_yield_mode_converts_exceptions_deterministically(self):
+        for jobs in (1, 2):
+            results = dict(parallel_imap(_raise_on_three, [1, 2, 3, 4],
+                                         jobs=jobs, task_errors="yield"))
+            assert results[2] == TaskFailure(
+                "error", "RuntimeError: task three is broken")
+            assert results[0] == 2 and results[3] == 8
+
+    def test_raise_mode_propagates_exceptions(self):
+        with pytest.raises(RuntimeError, match="task three is broken"):
+            list(parallel_imap(_raise_on_three, [1, 2, 3, 4], jobs=2))
+
+    def test_bad_task_errors_value_rejected(self):
+        with pytest.raises(ValueError, match="task_errors"):
+            list(parallel_imap(_double, [1], task_errors="ignore"))
 
 
 class TestBitIdenticalResults:

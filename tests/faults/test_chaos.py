@@ -1,0 +1,235 @@
+"""Chaos locks: injected faults → degraded completion → convergence.
+
+The failure-model acceptance properties (DESIGN.md "Failure model"):
+
+* a sweep under an armed fault plan never wedges — transient faults
+  are retried to success, persistent ones are quarantined and the
+  sweep completes *degraded*;
+* a rerun retries exactly the quarantined set, and after
+  ``verify --repair`` the faulted store is **byte-identical** to a
+  clean run's repaired store (chaos equivalence — mirrored by the CI
+  ``chaos-smoke`` job);
+* corrupt on-disk accelerators (baseline sidecar, cached train plans)
+  self-heal: the damaged entry only costs recomputation.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import WORKER_DIED, shutdown_shared_pool
+from repro.faults import FAULT_PLAN_ENV, FaultPlan, install
+from repro.faults import plan as plan_module
+from repro.scenarios import (ResultsStore, parse_spec, run_sweep,
+                             status_summary, verify_store)
+from repro.scenarios.results import BaselineSidecar
+
+#: Same scale as the runner/service tests (shared cached traces): two
+#: trace groups (cores 0 and 1) x two engine lanes = 4 points.
+SMALL = {
+    "name": "chaos",
+    "sweep": {
+        "workloads": ["dss-qry2"], "instructions": 30_000, "seeds": 3,
+        "cores": 2, "cache": {"kb": 16},
+        "engines": ["next-line",
+                    {"name": "pif", "params": {"sab_count": 4,
+                                               "sab_window_regions": 3}}],
+    },
+}
+
+quiet = {"log": lambda line: None}
+
+
+@pytest.fixture(autouse=True)
+def pristine_faults():
+    """No plan armed before or after each test, and no pooled workers
+    left attached to a fault-plan environment."""
+    plan_module.reset()
+    yield
+    plan_module.reset()
+    shutdown_shared_pool()
+
+
+def spec():
+    return parse_spec(SMALL)
+
+
+def arm_env(monkeypatch, *faults):
+    """Arm a plan through the environment — the parent process AND the
+    worker initializer snapshot both read it, like real chaos runs."""
+    monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps({"faults": list(faults)}))
+    plan_module.reset()
+
+
+def successful_records(out):
+    return {digest: record
+            for digest, record in ResultsStore(out).load_current().items()
+            if "failed" not in record}
+
+
+class TestTransientFaults:
+    def test_serial_raise_on_first_attempt_retries_to_success(self,
+                                                              tmp_path):
+        plan = FaultPlan.parse({"faults": [
+            {"site": "worker.task", "action": "raise",
+             "match": "attempt=0", "times": None}]})
+        with install(plan):
+            summary = run_sweep(spec(), tmp_path / "out", **quiet)
+        assert summary.complete() and not summary.degraded()
+        assert (summary.computed, summary.failed) == (4, 0)
+        assert summary.quarantined == ()
+
+        ref = tmp_path / "ref"
+        run_sweep(spec(), ref, **quiet)
+        assert successful_records(tmp_path / "out") \
+            == successful_records(ref)
+
+    def test_pooled_kill_on_first_attempt_retries_to_success(
+            self, tmp_path, monkeypatch):
+        """Every first-attempt task is killed (os._exit mid-task); the
+        pool is rebuilt, the tasks retried, and the sweep still
+        completes with records identical to a clean serial run."""
+        arm_env(monkeypatch, {"site": "worker.task", "action": "kill",
+                              "match": "attempt=0", "times": None})
+        summary = run_sweep(spec(), tmp_path / "out", jobs=2, **quiet)
+        assert summary.complete() and not summary.degraded()
+        assert (summary.computed, summary.failed) == (4, 0)
+
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        plan_module.reset()
+        ref = tmp_path / "ref"
+        run_sweep(spec(), ref, **quiet)
+        assert successful_records(tmp_path / "out") \
+            == successful_records(ref)
+
+
+class TestQuarantine:
+    def test_serial_poison_task_quarantines_and_rerun_retries(self,
+                                                              tmp_path):
+        out = tmp_path / "out"
+        plan = FaultPlan.parse({"faults": [
+            {"site": "worker.task", "action": "raise", "match": "c0:",
+             "times": None}]})
+        with install(plan):
+            summary = run_sweep(spec(), out, max_retries=1, **quiet)
+        assert summary.complete() and summary.degraded()
+        assert (summary.computed, summary.failed) == (2, 2)
+        assert summary.quarantined == ("dss-qry2/i30000/s3/c0",)
+
+        # The quarantine is durable and structured.
+        records = ResultsStore(out).load_current()
+        failed = [record for record in records.values()
+                  if "failed" in record]
+        assert len(failed) == 2
+        for record in failed:
+            assert record["failed"]["attempts"] == 2
+            assert record["failed"]["kind"] == "error"
+            assert "InjectedFault" in record["failed"]["error"]
+            assert "metrics" not in record
+
+        # Status accounting reports the quarantine, not completion.
+        accounting = status_summary(spec(), ResultsStore(out))
+        assert accounting["failed"] == 2
+        assert accounting["computed"] == 2
+        assert not accounting["complete"]
+
+        # The fault-free rerun retries exactly the quarantined set.
+        rerun = run_sweep(spec(), out, **quiet)
+        assert (rerun.skipped, rerun.computed) == (2, 2)
+        assert rerun.complete() and not rerun.degraded()
+        assert status_summary(spec(), ResultsStore(out))["complete"]
+
+    def test_pooled_poison_kill_quarantines_with_worker_died(
+            self, tmp_path, monkeypatch):
+        """A task that kills every pool it is given (isolation mode
+        included) quarantines with the deterministic worker-died text
+        while the healthy trace group still completes."""
+        out = tmp_path / "out"
+        arm_env(monkeypatch, {"site": "worker.task", "action": "kill",
+                              "match": "c0:", "times": None})
+        summary = run_sweep(spec(), out, jobs=2, max_retries=1, **quiet)
+        assert summary.complete() and summary.degraded()
+        assert (summary.computed, summary.failed) == (2, 2)
+        assert summary.quarantined == ("dss-qry2/i30000/s3/c0",)
+        failed = [record for record
+                  in ResultsStore(out).load_current().values()
+                  if "failed" in record]
+        assert {record["failed"]["kind"] for record in failed} \
+            == {"worker-died"}
+        assert {record["failed"]["error"] for record in failed} \
+            == {WORKER_DIED}
+
+
+class TestChaosEquivalence:
+    def test_fault_run_converges_to_clean_bytes(self, tmp_path,
+                                                monkeypatch):
+        """The whole acceptance flow: fault run completes degraded →
+        fault-free rerun retries the quarantined set → verify --repair
+        canonicalizes both stores to identical bytes."""
+        clean = tmp_path / "clean"
+        fault = tmp_path / "fault"
+        run_sweep(spec(), clean, jobs=2, **quiet)
+        shutdown_shared_pool()
+
+        arm_env(monkeypatch,
+                {"site": "worker.task", "action": "kill",
+                 "match": "c0:", "times": None},
+                {"site": "sidecar.append", "action": "truncate",
+                 "times": 1})
+        degraded = run_sweep(spec(), fault, jobs=2, max_retries=1, **quiet)
+        assert degraded.degraded()
+
+        monkeypatch.delenv(FAULT_PLAN_ENV)
+        plan_module.reset()
+        rerun = run_sweep(spec(), fault, jobs=2, **quiet)
+        assert rerun.complete() and rerun.computed == 2
+
+        verify_store(spec(), fault, repair=True)
+        clean_report = verify_store(spec(), clean, repair=True)
+        assert clean_report.clean()
+        # After repair both fscks come back clean...
+        assert verify_store(spec(), fault).clean()
+        # ...and the canonical stores are byte-identical.
+        assert (fault / "results.jsonl").read_bytes() \
+            == (clean / "results.jsonl").read_bytes()
+
+
+class TestAcceleratorSelfHeal:
+    def test_corrupt_baseline_sidecar_only_costs_recomputation(
+            self, tmp_path):
+        out = tmp_path / "out"
+        run_sweep(spec(), out, **quiet)
+        sidecar = BaselineSidecar(out)
+        assert sidecar.path.exists()
+        # Shear the tail mid-record and append garbage — the torn-write
+        # shape a kill used to leave.
+        damaged = sidecar.path.read_bytes()[:-9] + b"\n{not json\n"
+        sidecar.path.write_bytes(damaged)
+
+        ref = tmp_path / "ref"
+        run_sweep(spec(), ref, **quiet)
+        rerun = run_sweep(spec(), out, **quiet)  # resumes over the damage
+        assert rerun.complete() and rerun.skipped == 4
+        assert successful_records(out) == successful_records(ref)
+
+    def test_corrupt_plan_cache_self_heals(self, tmp_path):
+        """A ``plans.load`` corrupt fault damages the cached PIF train
+        plan on disk mid-run; the loader must treat it as a miss,
+        rebuild, and produce records identical to the clean run."""
+        from repro.sim.trainplan import PLANS_DIR
+        from repro.trace.store import TraceStore
+
+        ref = tmp_path / "ref"
+        run_sweep(spec(), ref, **quiet)  # warms the plans/ cache
+        store = TraceStore.from_env()
+        if store is None or not (store.root / PLANS_DIR).is_dir():
+            pytest.skip("trace store disabled; no plan cache to corrupt")
+
+        out = tmp_path / "out"
+        plan = FaultPlan.parse({"faults": [
+            {"site": "plans.load", "action": "corrupt", "times": None}]})
+        with install(plan):
+            summary = run_sweep(spec(), out, **quiet)
+        assert summary.complete() and not summary.degraded()
+        assert summary.computed == 4
+        assert successful_records(out) == successful_records(ref)

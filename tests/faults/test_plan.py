@@ -1,0 +1,210 @@
+"""Fault-plan parsing, validation, and deterministic firing.
+
+The harness is only trustworthy if misconfiguration fails loudly (a
+silently ignored chaos plan fakes coverage) and firing is a pure
+function of (plan, per-process hit sequence) — both locked here.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.faults import (FAULT_PLAN_ENV, KILL_EXIT_CODE, Fault, FaultPlan,
+                          FaultPlanError, InjectedFault, fire, install)
+from repro.faults import plan as plan_module
+
+
+@pytest.fixture(autouse=True)
+def pristine_injector():
+    """Every test starts and ends with no armed plan."""
+    plan_module.reset()
+    yield
+    plan_module.reset()
+
+
+def make_plan(*entries):
+    return FaultPlan.parse({"faults": list(entries)})
+
+
+class TestParsing:
+    def test_minimal_entry_gets_defaults(self):
+        plan = make_plan({"site": "worker.task", "action": "raise"})
+        assert plan.faults == (Fault(site="worker.task", action="raise",
+                                     match="", after=0, times=1,
+                                     exception="injected"),)
+
+    def test_all_fields_round_trip(self):
+        plan = make_plan({"site": "trace.open", "action": "raise",
+                          "match": "dss", "after": 2, "times": None,
+                          "exception": "format"})
+        fault = plan.faults[0]
+        assert fault.after == 2 and fault.times is None
+        assert fault.exception == "format"
+
+    def test_non_object_plan_rejected(self):
+        with pytest.raises(FaultPlanError, match="must be an object"):
+            FaultPlan.parse(["not", "a", "plan"])
+
+    def test_unknown_plan_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault-plan"):
+            FaultPlan.parse({"faults": [], "retries": 3})
+
+    def test_missing_faults_list_rejected(self):
+        with pytest.raises(FaultPlanError, match="'faults' list"):
+            FaultPlan.parse({})
+
+    def test_unknown_entry_key_named(self):
+        with pytest.raises(FaultPlanError, match=r"faults\[0\].*when"):
+            make_plan({"site": "s", "action": "raise", "when": "always"})
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(FaultPlanError, match="action must be one of"):
+            make_plan({"site": "s", "action": "explode"})
+
+    def test_bad_exception_rejected(self):
+        with pytest.raises(FaultPlanError, match="exception must be"):
+            make_plan({"site": "s", "action": "raise",
+                       "exception": "oserror"})
+
+    def test_bool_is_not_an_integer(self):
+        # bool is an int subclass; the schema must still reject it.
+        with pytest.raises(FaultPlanError, match="'after'"):
+            make_plan({"site": "s", "action": "raise", "after": True})
+        with pytest.raises(FaultPlanError, match="'times'"):
+            make_plan({"site": "s", "action": "raise", "times": True})
+
+    def test_negative_gates_rejected(self):
+        with pytest.raises(FaultPlanError, match="'after'"):
+            make_plan({"site": "s", "action": "raise", "after": -1})
+        with pytest.raises(FaultPlanError, match="'times'"):
+            make_plan({"site": "s", "action": "raise", "times": 0})
+
+    def test_bad_json_text_rejected(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_text("{nope")
+
+
+class TestFromEnv:
+    PLAN = {"faults": [{"site": "worker.task", "action": "raise"}]}
+
+    def test_unset_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+
+    def test_inline_json(self, monkeypatch):
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps(self.PLAN))
+        plan = FaultPlan.from_env()
+        assert plan.faults[0].site == "worker.task"
+
+    def test_json_file(self, monkeypatch, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(self.PLAN))
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(path))
+        assert FaultPlan.from_env().faults[0].action == "raise"
+
+    def test_yaml_file(self, monkeypatch, tmp_path):
+        pytest.importorskip("yaml")
+        path = tmp_path / "plan.yaml"
+        path.write_text("faults:\n  - site: worker.task\n"
+                        "    action: raise\n    match: 's3:'\n")
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(path))
+        plan = FaultPlan.from_env()
+        assert plan.faults[0].match == "s3:"
+
+    def test_missing_file_raises(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(tmp_path / "absent.json"))
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            FaultPlan.from_env()
+
+
+class TestFiring:
+    def test_no_plan_is_a_noop(self):
+        assert fire("worker.task", "anything") is None
+
+    def test_raise_action_raises_with_site_and_key(self):
+        plan = make_plan({"site": "worker.task", "action": "raise"})
+        with install(plan):
+            with pytest.raises(InjectedFault,
+                               match=r"worker\.task \(dss:attempt=0\)"):
+                fire("worker.task", "dss:attempt=0")
+
+    def test_format_exception_flavor(self):
+        from repro.trace.serialize import TraceFormatError
+
+        plan = make_plan({"site": "store.get", "action": "raise",
+                          "exception": "format"})
+        with install(plan):
+            with pytest.raises(TraceFormatError, match="injected fault"):
+                fire("store.get", "archive.npz")
+
+    def test_site_and_match_gate(self):
+        plan = make_plan({"site": "worker.task", "action": "raise",
+                          "match": "s3:"})
+        with install(plan):
+            assert fire("trace.open", "s3:") is None      # wrong site
+            assert fire("worker.task", "s4:c0") is None   # no match
+            with pytest.raises(InjectedFault):
+                fire("worker.task", "dss:s3:c0")
+
+    def test_after_skips_then_times_caps(self):
+        plan = make_plan({"site": "s", "action": "raise", "after": 1,
+                          "times": 2})
+        with install(plan):
+            assert fire("s", "k") is None        # hit 1: skipped (after)
+            for _ in range(2):                   # hits 2-3: fired
+                with pytest.raises(InjectedFault):
+                    fire("s", "k")
+            assert fire("s", "k") is None        # times exhausted
+
+    def test_unlimited_times(self):
+        plan = make_plan({"site": "s", "action": "raise", "times": None})
+        with install(plan):
+            for _ in range(5):
+                with pytest.raises(InjectedFault):
+                    fire("s", "k")
+
+    def test_truncate_fault_returned_to_site(self):
+        plan = make_plan({"site": "results.append", "action": "truncate"})
+        with install(plan):
+            fault = fire("results.append", "results.jsonl")
+            assert fault.action == "truncate"
+            assert fire("results.append", "results.jsonl") is None
+
+    def test_install_restores_previous_state(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        plan = make_plan({"site": "s", "action": "raise"})
+        with install(plan):
+            pass
+        assert fire("s", "k") is None
+
+    def test_reset_rereads_environment(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert fire("s", "k") is None  # caches "no plan"
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps(
+            {"faults": [{"site": "s", "action": "raise"}]}))
+        assert fire("s", "k") is None  # still cached
+        plan_module.reset()
+        with pytest.raises(InjectedFault):
+            fire("s", "k")
+
+
+def _killed_child(plan_text):
+    """Child body for the kill test (module-level: must be picklable)."""
+    import os
+
+    os.environ[FAULT_PLAN_ENV] = plan_text
+    plan_module.reset()
+    fire("worker.task", "victim:attempt=0")
+    os._exit(0)  # unreachable when the fault fires
+
+
+class TestKillAction:
+    def test_kill_exits_process_with_the_marker_code(self):
+        plan_text = json.dumps(
+            {"faults": [{"site": "worker.task", "action": "kill"}]})
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_killed_child, args=(plan_text,))
+        child.start()
+        child.join(30)
+        assert child.exitcode == KILL_EXIT_CODE

@@ -160,6 +160,33 @@ class TestRoutingAndSchemas:
                       "Content-Length: ten\r\n"
                       "Connection: close\r\n\r\n") == 400
 
+    def test_unexpected_handler_error_is_a_structured_500(
+            self, tmp_path, monkeypatch):
+        """A handler bug must answer with the documented
+        ``internal_error`` document and a ``request-error`` log event —
+        never a raw traceback on the socket or a dead daemon."""
+        from repro.service.http import SweepRequestHandler
+
+        def broken(self, params):
+            raise KeyError("metrics")
+
+        monkeypatch.setattr(SweepRequestHandler, "handle_healthz", broken)
+        with serve(tmp_path, start=False) as (port, service):
+            events = []
+            service._log = events.append
+            status, payload = request_json(port, "GET", "/v1/healthz")
+            # The daemon survives: the next request is served normally.
+            listed, _ = request_json(port, "GET", "/v1/jobs")
+        assert status == 500
+        validate_payload("internal_error", payload)
+        assert payload["detail"] == "KeyError: 'metrics'"
+        assert listed == 200
+        errors = [event for event in events
+                  if event["event"] == "request-error"]
+        assert len(errors) == 1
+        assert errors[0]["path"] == "/v1/healthz"
+        assert errors[0]["error"] == "KeyError: 'metrics'"
+
     def test_bad_report_format_is_400(self, tmp_path):
         with serve(tmp_path, start=False) as (port, _):
             _, payload = submit(port, make_spec(3))

@@ -116,6 +116,9 @@ class TestLifecycle:
             == ResultsStore(ref).scenario_path.read_bytes()
 
     def test_failed_job_keeps_worker_alive(self, tmp_path, monkeypatch):
+        """A sweep whose every task raises completes *degraded* (the
+        failure model quarantines the tasks after retries instead of
+        killing the job) and the worker thread survives it."""
         def boom(*args, **kwargs):
             raise RuntimeError("engine room on fire")
 
@@ -125,14 +128,17 @@ class TestLifecycle:
         service.start()
         try:
             job = service.submit(RAW_SPEC)
-            wait_for(lambda: service.get(job.id).state == "failed",
-                     message="job failure")
-            assert "engine room on fire" in service.get(job.id).error
+            wait_for(lambda: service.get(job.id).state == "degraded",
+                     message="degraded completion")
+            finished = service.get(job.id)
+            assert finished.failed_points == 4
+            assert "quarantined" in finished.error
             # Worker survived; a healthy job still completes.
             monkeypatch.undo()
             second = service.submit(RAW_SPEC)
             wait_for(lambda: service.get(second.id).state == DONE,
                      message="recovery after failure")
+            assert service.get(second.id).failed_points == 0
         finally:
             service.stop()
 

@@ -135,7 +135,7 @@ class TestDesignDocs:
 
 _API_HEADING = re.compile(r"^### (GET|POST|DELETE|PUT|PATCH) (\S+)$",
                           re.MULTILINE)
-_API_EXAMPLE = re.compile(r"```json schema=([a-z]+)\n(.*?)```", re.DOTALL)
+_API_EXAMPLE = re.compile(r"```json schema=([a-z_]+)\n(.*?)```", re.DOTALL)
 
 
 class TestApiDocs:
