@@ -263,7 +263,8 @@ class BroadExceptRetryPathRule(Rule):
     ``except Exception`` (or bare ``except``) that does not re-raise,
     sitting in the injection/retry/quarantine machinery itself, can
     absorb the injected fault and make chaos tests pass vacuously.
-    Scope: :mod:`repro.faults`, the pool fan-out, the sweep runner and
+    Scope: :mod:`repro.faults`, the distributed coordinator/worker
+    tier, the pool fan-out, the sweep runner and
     verifier, and the service.  Handlers that re-raise (even
     conditionally) pass; sanctioned last-resort boundaries — the
     quarantine converter, the HTTP 500 catch-all, the job-survival
@@ -275,7 +276,7 @@ class BroadExceptRetryPathRule(Rule):
     name = "broad-except-in-retry-path"
     summary = "broad except without re-raise in a fault/retry/service path"
     scope = ("faults/", "experiments/parallel.py", "scenarios/runner.py",
-             "scenarios/verify.py", "service/")
+             "scenarios/verify.py", "service/", "dist/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

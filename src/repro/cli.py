@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro <command>`` (or the
 ``repro`` console script).
 
-Seven commands cover the everyday workflows:
+Eight commands cover the everyday workflows:
 
 * ``trace``    — generate a workload trace, print its characterization,
   optionally save it as a ``.npz`` bundle for external tools;
@@ -33,6 +33,11 @@ Seven commands cover the everyday workflows:
   scenario specs, poll job status, fetch reports; jobs persist under
   ``--data-dir`` and a restarted daemon resumes every in-flight sweep
   with zero recomputation.  The API reference is ``docs/api.md``;
+* ``worker``   — a distributed-sweep worker (:mod:`repro.dist`): pulls
+  trace-group leases from a coordinator started by ``repro sweep run
+  --transport http``, runs them through the standard group path, and
+  streams the records back; ``--transport local`` spawns these
+  automatically as subprocesses;
 * ``lint``     — reprolint (:mod:`repro.analysis`), the repo's own
   AST-based determinism & hot-path contract checker; CI gates on
   ``repro lint src tests benchmarks examples`` exiting 0.
@@ -380,6 +385,11 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
     sweep stays resumable); ``--jobs N`` fans trace groups out over N
     processes — stored records are identical for any job count;
     ``--max-retries N`` bounds per-task retries before quarantine.
+    ``--transport local`` executes through the distributed tier with
+    ``--workers N`` subprocess workers on this host; ``--transport
+    http`` binds a coordinator and waits for external ``repro worker``
+    processes.  Stores are byte-equivalent across all transports after
+    ``repro sweep verify --repair``.
     Exit codes: 0 complete, 1 incomplete (resumable), 2 usage, 3
     complete but *degraded* — quarantined groups are named on stdout
     and retried by the next run.
@@ -395,11 +405,28 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
     if args.max_retries < 0:
         print("--max-retries cannot be negative", file=sys.stderr)
         return 2
+    if args.workers <= 0:
+        print("--workers must be positive", file=sys.stderr)
+        return 2
+    if args.lease_timeout <= 0:
+        print("--lease-timeout must be positive", file=sys.stderr)
+        return 2
     spec = _load_sweep_spec(args)
     if spec is None:
         return 2
-    summary = run_sweep(spec, args.out, jobs=args.jobs, limit=args.limit,
-                        kernel=args.kernel, max_retries=args.max_retries)
+    if args.transport == "inline":
+        summary = run_sweep(spec, args.out, jobs=args.jobs,
+                            limit=args.limit, kernel=args.kernel,
+                            max_retries=args.max_retries)
+    else:
+        from .dist import run_distributed_sweep
+
+        summary = run_distributed_sweep(
+            spec, args.out, transport=args.transport,
+            workers=args.workers, limit=args.limit, kernel=args.kernel,
+            max_retries=args.max_retries,
+            lease_timeout=args.lease_timeout,
+            host=args.bind_host, port=args.bind_port)
     print(f"{summary.computed} points computed, {summary.skipped} already "
           f"stored, {summary.remaining} remaining")
     if summary.degraded():
@@ -556,6 +583,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run a pull-based distributed-sweep worker until drained.
+
+    Points at a coordinator started by ``repro sweep run --transport
+    http`` (which prints the URL).  Each leased trace group runs
+    through the exact same group path as every other execution mode,
+    so the records streamed back are bit-identical to an inline run's.
+    Exit codes: 0 sweep drained, 1 coordinator unreachable, 2 trace
+    generator-version mismatch with the coordinator.
+    """
+    import os
+
+    from .dist.worker import run_worker
+
+    if args.poll_interval <= 0:
+        print("--poll-interval must be positive", file=sys.stderr)
+        return 2
+    worker_id = (args.worker_id if args.worker_id is not None
+                 else f"worker-{os.getpid()}")
+    return run_worker(args.coordinator, worker_id,
+                      poll_interval=args.poll_interval)
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run reprolint (see :mod:`repro.analysis`) and gate on the result.
 
@@ -682,6 +732,33 @@ def build_parser() -> argparse.ArgumentParser:
                                 "before it is quarantined as failed "
                                 "records (default: 2; a later run "
                                 "retries exactly the quarantined set)")
+    sweep_run.add_argument("--transport", default="inline",
+                           choices=("inline", "local", "http"),
+                           help="execution tier: inline (this process "
+                                "plus --jobs pool workers), local "
+                                "(coordinator + --workers subprocess "
+                                "workers on this host), or http "
+                                "(coordinator only; start repro worker "
+                                "processes against the printed URL). "
+                                "Stores are byte-equivalent across all "
+                                "three after verify --repair")
+    sweep_run.add_argument("--workers", type=int, default=2,
+                           help="worker subprocesses for --transport "
+                                "local (default: 2; ignored inline)")
+    sweep_run.add_argument("--lease-timeout", type=float, default=60.0,
+                           help="seconds a leased task may go without a "
+                                "heartbeat before it is requeued "
+                                "(default: 60; distributed transports "
+                                "only)")
+    sweep_run.add_argument("--bind-host", default="127.0.0.1",
+                           help="coordinator bind address for the "
+                                "distributed transports (default: "
+                                "loopback; the protocol is "
+                                "unauthenticated)")
+    sweep_run.add_argument("--bind-port", type=int, default=0,
+                           help="coordinator TCP port (default: 0 = "
+                                "pick a free one; --transport http "
+                                "prints the bound URL)")
     sweep_run.set_defaults(func=cmd_sweep_run)
 
     sweep_verify = sweep_commands.add_parser(
@@ -755,6 +832,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulation kernel for every job (default: "
                             "$REPRO_SIM_KERNEL or fast)")
     serve.set_defaults(func=cmd_serve)
+
+    worker = commands.add_parser(
+        "worker", help="run a distributed-sweep worker")
+    worker.add_argument("--coordinator", required=True,
+                        help="coordinator base URL (printed by repro "
+                             "sweep run --transport http), e.g. "
+                             "http://127.0.0.1:8731")
+    worker.add_argument("--worker-id", default=None,
+                        help="stable worker identity for lease "
+                             "accounting (default: worker-<pid>)")
+    worker.add_argument("--poll-interval", type=float, default=0.5,
+                        help="seconds to sleep when the coordinator has "
+                             "no pending task (default: 0.5)")
+    worker.set_defaults(func=cmd_worker)
 
     lint = commands.add_parser(
         "lint", help="run reprolint, the determinism contract checker")

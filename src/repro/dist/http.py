@@ -1,0 +1,147 @@
+"""The coordinator's HTTP face: three routes, strict bodies, no state.
+
+Same stdlib stack and discipline as :mod:`repro.service.http` — a
+``ThreadingHTTPServer`` whose handler resolves requests against the one
+shared route table (:data:`repro.service.schemas.ROUTES`) — but serving
+*only* the ``/v1/dist/*`` rows; the daemon's job routes answer 404 here,
+exactly mirroring the daemon answering the dist routes with 409.  All
+state lives in the :class:`~repro.dist.coordinator.LeaseBoard`; the
+handler threads only decode frames, call one board transition, and
+encode the payload back.
+
+Error mapping: a frame that fails protocol validation is a 400 with the
+validator's message (never a stray ``KeyError`` on the socket), an
+unexpected handler bug is a structured 500, anything else is the
+board's own payload at 200.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Tuple
+from urllib.parse import urlsplit
+
+from ..service.schemas import (match_route, payload_error,
+                               payload_internal_error)
+from .coordinator import LeaseBoard
+from .protocol import Heartbeat, ProtocolError, TaskFailed, TaskResult, decode
+
+#: Request bodies above this are refused with 413 (a point-records
+#: frame for a wide group stays far below this).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: (status, body bytes) — a prepared response.
+_Prepared = Tuple[int, bytes]
+
+
+class CoordinatorServer(ThreadingHTTPServer):
+    """The coordinator's loopback server, bound to one lease board."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], board: LeaseBoard) -> None:
+        super().__init__(address, CoordinatorRequestHandler)
+        self.board = board
+
+
+def build_coordinator_server(host: str, port: int,
+                             board: LeaseBoard) -> CoordinatorServer:
+    """Bind the coordinator (port 0 picks a free port — the local
+    transport and the tests)."""
+    return CoordinatorServer((host, port), board)
+
+
+class CoordinatorRequestHandler(BaseHTTPRequestHandler):
+    """Decode one wire frame, run one board transition, respond."""
+
+    server: CoordinatorServer
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:           # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:          # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        path = urlsplit(self.path).path
+        route, _, _ = match_route(method, path)
+        try:
+            if route is None or not route.pattern.startswith("/v1/dist/"):
+                status, body = self._json_response(404, payload_error(
+                    f"{path} is not served by the sweep coordinator; "
+                    "its routes are POST /v1/dist/{lease,records,"
+                    "heartbeat}"))
+            else:
+                status, body = getattr(self, route.handler)()
+        except ProtocolError as error:
+            status, body = self._json_response(
+                400, payload_error(f"malformed frame: {error}"))
+        except Exception as error:  # reprolint: disable=RL009 - last-resort HTTP boundary: an unexpected coordinator bug becomes a structured 500 instead of a raw traceback on the worker's socket
+            status, body = self._json_response(
+                500, payload_internal_error(error))
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ----------------------------------------------------------- handlers
+
+    def handle_dist_lease(self) -> _Prepared:
+        request = self._read_body()
+        if (not isinstance(request, dict) or set(request) != {"worker"}
+                or not isinstance(request["worker"], str)):
+            raise ProtocolError(
+                'a lease request body must be exactly {"worker": "<id>"}')
+        return self._json_response(
+            200, self.server.board.request_lease(request["worker"]))
+
+    def handle_dist_records(self) -> _Prepared:
+        report = decode(self._read_raw_body())
+        if not isinstance(report, (TaskResult, TaskFailed)):
+            raise ProtocolError(
+                f"/v1/dist/records takes point-records or task-failed "
+                f"frames, not {report.TYPE!r}")
+        return self._json_response(200, self.server.board.submit(report))
+
+    def handle_dist_heartbeat(self) -> _Prepared:
+        beat = decode(self._read_raw_body())
+        if not isinstance(beat, Heartbeat):
+            raise ProtocolError(f"/v1/dist/heartbeat takes heartbeat "
+                                f"frames, not {beat.TYPE!r}")
+        return self._json_response(200, self.server.board.heartbeat(beat))
+
+    # ------------------------------------------------------------ plumbing
+
+    def _read_raw_body(self) -> bytes:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise ProtocolError("Content-Length required")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ProtocolError(
+                f"bad Content-Length {length_header!r}") from None
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(f"frame of {length} bytes exceeds the "
+                                f"{MAX_BODY_BYTES}-byte limit")
+        return self.rfile.read(length)
+
+    def _read_body(self) -> Any:
+        try:
+            return json.loads(self._read_raw_body().decode("utf-8",
+                                                           "replace"))
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"body is not valid JSON: {error}") \
+                from error
+
+    def _json_response(self, status: int,
+                       payload: Dict[str, Any]) -> _Prepared:
+        return status, (json.dumps(payload, sort_keys=True,
+                                   separators=(",", ":")) + "\n").encode()
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr lines; the board's emit callback
+        narrates progress instead."""

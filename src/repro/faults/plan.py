@@ -14,7 +14,9 @@ Each entry arms one :class:`Fault`:
 
 * ``site`` — which registered injection point it applies to (see the
   table in DESIGN.md "Failure model"; e.g. ``worker.task``,
-  ``trace.open``, ``results.append``, ``plans.load``).
+  ``trace.open``, ``results.append``, ``plans.load``, and the
+  distributed tier's ``dist.lease`` / ``dist.worker`` /
+  ``dist.result``).
 * ``action`` — ``kill`` (``os._exit(86)`` — a segfault stand-in),
   ``raise`` (throw from the site), or ``truncate``/``corrupt`` (the
   site receives the fault back and damages its own payload, so the

@@ -136,6 +136,30 @@ class ResultsStore:
              + "\n" for record in records),
             site="results.append")
 
+    def merge_all(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Append ``records`` newest-wins, skipping exact duplicates.
+
+        The distributed coordinator's ingest path: when a lease expires
+        and the group is re-run elsewhere, both workers may report the
+        same points (the duplicate-lease race).  Records are
+        deterministic in the point alone, so the replayed copies are
+        byte-identical to what the store already holds — this drops
+        them instead of appending no-op lines, keeping the raw file
+        convergent.  A record that *differs* from the stored one (a
+        success superseding a quarantine record, say) is appended and
+        wins by newest-wins exactly like :meth:`append_all`.  Returns
+        the number of records actually appended.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        current = self.load()
+        fresh = [record for record in records
+                 if current.get(record.get(HASH_FIELD)) != record]
+        if fresh:
+            self.append_all(fresh)
+        return len(fresh)
+
     def load(self) -> Dict[str, Dict[str, Any]]:
         """All readable records, newest-wins, keyed by point hash.
 

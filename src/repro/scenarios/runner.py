@@ -321,6 +321,74 @@ def _shard_tasks(tasks: List[_GroupTask], jobs: int) -> List[_GroupTask]:
     return [entry[2] for entry in work]
 
 
+class SweepPlan(NamedTuple):
+    """Everything :func:`prepare_sweep` resolved before execution: the
+    opened store/sidecar pair, the resume accounting, and the sharded
+    task list — shared verbatim by the inline runner and the
+    distributed coordinator (:mod:`repro.dist`), so both execute the
+    exact same tasks against the exact same store."""
+
+    store: ResultsStore
+    sidecar: BaselineSidecar
+    #: All sidecar entries by memo key (seed for a serial walk).
+    known_baselines: Dict[str, Dict[str, Any]]
+    #: Keys already persisted — updated in place as groups finish.
+    known_keys: set
+    total: int      #: points the scenario expands to
+    skipped: int    #: points already stored (current generator)
+    selected: int   #: points this invocation will attempt
+    groups: int     #: distinct (trace, warmup) groups among them
+    tasks: List[_GroupTask]
+
+    def describe(self, spec_name: str, jobs: int) -> str:
+        """The standard one-line sweep preamble ``emit`` prints."""
+        return (f"sweep {spec_name!r}: {self.total} points "
+                f"({self.skipped} stored, {self.selected} to run in "
+                f"{len(self.tasks)} tasks over {self.groups} trace "
+                f"groups, jobs={jobs})")
+
+
+def prepare_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
+                  limit: Optional[int] = None,
+                  kernel: Optional[str] = None,
+                  attach_baselines: Optional[bool] = None) -> SweepPlan:
+    """Resolve a sweep invocation into a :class:`SweepPlan`.
+
+    Opens (creating if needed) the results store under ``out``, records
+    the launching spec, computes the missing-point set, groups and
+    shards it exactly as :func:`run_sweep` would for ``jobs``, and —
+    when ``attach_baselines`` (default: ``jobs > 1``) — attaches each
+    task's trace-scoped sidecar entries so remote workers can seed
+    their baseline memos without a shared filesystem.
+    """
+    kernel = resolve_kernel(kernel)
+    store = ResultsStore(out)
+    store.write_scenario(spec.source)
+    sidecar = BaselineSidecar(out)
+    known_baselines, baselines_by_trace = sidecar.load_all()
+    known_keys = set(known_baselines)
+    pending, skipped = missing_points(spec, store)
+    total = skipped + len(pending)
+    selected = pending if limit is None else pending[:limit]
+    groups = _group_tasks(selected, kernel)
+    tasks = _shard_tasks(groups, jobs)
+    if attach_baselines is None:
+        attach_baselines = jobs > 1
+    if baselines_by_trace and attach_baselines:
+        # Each task ships only its own trace's sidecar entries.
+        tasks = [
+            task._replace(baselines=entries) if (
+                entries := baselines_by_trace.get(task.trace_key()))
+            else task
+            for task in tasks
+        ]
+    return SweepPlan(store=store, sidecar=sidecar,
+                     known_baselines=known_baselines,
+                     known_keys=known_keys, total=total, skipped=skipped,
+                     selected=len(selected), groups=len(groups),
+                     tasks=tasks)
+
+
 def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
               limit: Optional[int] = None, kernel: Optional[str] = None,
               log: Optional[Callable[[str], None]] = None,
@@ -361,37 +429,22 @@ def run_sweep(spec: ScenarioSpec, out: Union[str, Path], jobs: int = 1,
         raise ValueError("limit cannot be negative")
     if max_retries < 0:
         raise ValueError("max_retries cannot be negative")
-    # Resolve in the parent (failing fast on a bad selector): tasks must
-    # carry the concrete kernel name, never a None a worker would resolve
-    # against its own environment.
-    kernel = resolve_kernel(kernel)
     emit = log if log is not None else (
         lambda line: print(line, file=sys.stderr))
 
-    store = ResultsStore(out)
-    store.write_scenario(spec.source)
-    sidecar = BaselineSidecar(out)
-    known_baselines, baselines_by_trace = sidecar.load_all()
-    known_keys = set(known_baselines)
-    if known_baselines and jobs == 1:
-        seed_baseline_memo(known_baselines)  # serial: this process walks
-    pending, skipped = missing_points(spec, store)
-    total = skipped + len(pending)
-    selected = pending if limit is None else pending[:limit]
-    groups = _group_tasks(selected, kernel)
-    tasks = _shard_tasks(groups, jobs)
-    if baselines_by_trace and jobs > 1:
-        # Each task ships only its own trace's sidecar entries.
-        tasks = [
-            task._replace(baselines=entries) if (
-                entries := baselines_by_trace.get(task.trace_key()))
-            else task
-            for task in tasks
-        ]
+    # prepare_sweep resolves the kernel in the parent (failing fast on a
+    # bad selector): tasks must carry the concrete kernel name, never a
+    # None a worker would resolve against its own environment.
+    plan = prepare_sweep(spec, out, jobs=jobs, limit=limit, kernel=kernel)
+    store = plan.store
+    sidecar = plan.sidecar
+    known_keys = plan.known_keys
+    total, skipped = plan.total, plan.skipped
+    tasks = plan.tasks
+    if plan.known_baselines and jobs == 1:
+        seed_baseline_memo(plan.known_baselines)  # serial: this process walks
 
-    emit(f"sweep {spec.name!r}: {total} points "
-         f"({skipped} stored, {len(selected)} to run in {len(tasks)} "
-         f"tasks over {len(groups)} trace groups, jobs={jobs})")
+    emit(plan.describe(spec.name, jobs))
     computed = 0
     failed = 0
     quarantined: List[str] = []

@@ -177,6 +177,24 @@ class SweepRequestHandler(BaseHTTPRequestHandler):
         return self._json_response(
             200, payload_job(job, service.sweep_summary(job)))
 
+    # The /v1/dist/* routes live in the shared route table so the docs
+    # and schema tests cover them, but they are served by a sweep
+    # *coordinator* (repro sweep run --transport local|http), not by
+    # this daemon — a worker pointed here gets a 409 explaining that.
+
+    _DIST_NOT_HERE = ("distributed-sweep endpoints are served by a sweep "
+                      "coordinator (repro sweep run --transport "
+                      "local|http), not by this daemon")
+
+    def handle_dist_lease(self, params: Dict[str, str]) -> "_Prepared":
+        return self._json_response(409, payload_error(self._DIST_NOT_HERE))
+
+    def handle_dist_records(self, params: Dict[str, str]) -> "_Prepared":
+        return self._json_response(409, payload_error(self._DIST_NOT_HERE))
+
+    def handle_dist_heartbeat(self, params: Dict[str, str]) -> "_Prepared":
+        return self._json_response(409, payload_error(self._DIST_NOT_HERE))
+
     # ------------------------------------------------------------ plumbing
 
     def _read_spec_body(self

@@ -50,7 +50,12 @@ class Route(NamedTuple):
         return re.compile("^" + "".join(parts) + "$")
 
 
-#: The complete route table, in documentation order.
+#: The complete route table, in documentation order.  The ``/v1/dist/*``
+#: rows are the distributed-sweep coordinator's routes
+#: (:mod:`repro.dist.http` — served by ``repro sweep run --transport
+#: local|http``, not by the daemon, which answers them with 409); they
+#: live in this table so the docs/schema/test coupling covers the whole
+#: wire surface.
 ROUTES: Tuple[Route, ...] = (
     Route("GET", "/v1/healthz", "handle_healthz", "health"),
     Route("GET", "/v1/jobs", "handle_jobs", "jobs"),
@@ -58,6 +63,9 @@ ROUTES: Tuple[Route, ...] = (
     Route("GET", "/v1/sweeps/{id}", "handle_job_detail", "job"),
     Route("GET", "/v1/sweeps/{id}/report", "handle_job_report", "report"),
     Route("DELETE", "/v1/sweeps/{id}", "handle_cancel", "job"),
+    Route("POST", "/v1/dist/lease", "handle_dist_lease", "lease"),
+    Route("POST", "/v1/dist/records", "handle_dist_records", "ack"),
+    Route("POST", "/v1/dist/heartbeat", "handle_dist_heartbeat", "ack"),
 )
 
 
@@ -110,7 +118,25 @@ RESPONSE_SCHEMAS: Dict[str, frozenset] = {
     # unexpected handler exceptions (500): the structured last-resort
     # document, paired with a ``request-error`` service event
     "internal_error": frozenset({"error", "detail"}),
+    # POST /v1/dist/lease — the coordinator's answer to a worker's
+    # lease request ("granted" carries a task-lease wire document)
+    "lease": frozenset({"state", "lease"}),
+    # POST /v1/dist/records, POST /v1/dist/heartbeat — the
+    # coordinator's acknowledgement ("stale" means the lease expired
+    # and the task was requeued; the worker drops its copy)
+    "ack": frozenset({"status", "lease"}),
 }
+
+#: Values of the "lease" document's ``state`` field: a task was leased,
+#: nothing is available right now (poll again), or the sweep is over.
+LEASE_STATES = frozenset({"granted", "idle", "drained"})
+
+#: Values of the "ack" document's ``status`` field.
+ACK_STATUSES = frozenset({"ok", "stale"})
+
+#: Key set of the nested task-lease wire document of a granted "lease"
+#: payload (:mod:`repro.dist.protocol` validates its interior).
+LEASE_DOCUMENT_KEYS = frozenset({"type", "lease", "generator", "task"})
 
 #: Key set of one entry of the ``jobs`` list in the "jobs" schema.
 JOB_LIST_ENTRY_KEYS = frozenset({"id", "scenario", "state", "seq"})
@@ -161,6 +187,21 @@ def validate_payload(schema: str, payload: Any) -> None:
     elif schema == "health":
         _require_keys("health.jobs", payload["jobs"], JOB_STATE_KEYS)
         _require_keys("health.queue", payload["queue"], QUEUE_KEYS)
+    elif schema == "lease":
+        if payload["state"] not in LEASE_STATES:
+            raise SchemaError(f"lease.state {payload['state']!r} is not "
+                              f"one of {sorted(LEASE_STATES)}")
+        if payload["state"] == "granted":
+            _require_keys("lease.lease", payload["lease"],
+                          LEASE_DOCUMENT_KEYS)
+        elif payload["lease"] is not None:
+            raise SchemaError("lease.lease must be null unless granted")
+    elif schema == "ack":
+        if payload["status"] not in ACK_STATUSES:
+            raise SchemaError(f"ack.status {payload['status']!r} is not "
+                              f"one of {sorted(ACK_STATUSES)}")
+        if not isinstance(payload["lease"], str):
+            raise SchemaError("ack.lease must be a lease-id string")
 
 
 # ---------------------------------------------------------------------------
@@ -205,6 +246,19 @@ def payload_jobs(jobs: List[Any]) -> Dict[str, Any]:
         ],
         "count": len(jobs),
     }
+
+
+def payload_lease(state: str, lease: Optional[Dict[str, Any]]
+                  ) -> Dict[str, Any]:
+    """The "lease" document: ``state`` ∈ :data:`LEASE_STATES`, with the
+    task-lease wire document nested when granted."""
+    return {"state": state, "lease": lease}
+
+
+def payload_ack(status: str, lease: str) -> Dict[str, Any]:
+    """The "ack" document: ``status`` ∈ :data:`ACK_STATUSES` for the
+    named lease."""
+    return {"status": status, "lease": lease}
 
 
 def payload_health(version: str, generator: str, counts: Dict[str, int],

@@ -160,6 +160,21 @@ class TestRoutingAndSchemas:
                       "Content-Length: ten\r\n"
                       "Connection: close\r\n\r\n") == 400
 
+    def test_dist_routes_answer_409_pointing_at_the_coordinator(
+            self, tmp_path):
+        """The daemon knows the ``/v1/dist/*`` routes (they share the
+        documented route table) but refuses them with a structured 409
+        pointing at the sweep coordinator — they are served only by
+        ``repro sweep run --transport local|http``."""
+        with serve(tmp_path, start=False) as (port, _):
+            for path in ("/v1/dist/lease", "/v1/dist/records",
+                         "/v1/dist/heartbeat"):
+                status, payload = request_json(
+                    port, "POST", path, body=json.dumps({"worker": "w0"}))
+                assert status == 409
+                validate_payload("error", payload)
+                assert "sweep coordinator" in payload["error"]
+
     def test_unexpected_handler_error_is_a_structured_500(
             self, tmp_path, monkeypatch):
         """A handler bug must answer with the documented

@@ -232,3 +232,98 @@ class TestSweepCommands:
                                        "--format", "xml"])
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "run", "--out", "x"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "run", "--spec", "x",
+                                       "--out", "x", "--transport",
+                                       "carrier-pigeon"])
+        assert main(["sweep", "run", "--spec", spec_path,
+                     "--out", str(tmp_path), "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert main(["sweep", "run", "--spec", spec_path,
+                     "--out", str(tmp_path), "--lease-timeout", "0"]) == 2
+        assert "--lease-timeout" in capsys.readouterr().err
+
+    def test_status_format_json_reports_failed_distinctly(
+            self, spec_path, tmp_path, capsys, monkeypatch):
+        """Quarantined points surface under the ``failed`` count, not
+        folded into ``missing`` (the pending set) — the documented
+        docs/api.md sweep-summary contract."""
+        from repro.faults import FAULT_PLAN_ENV
+        from repro.faults import plan as plan_module
+
+        out = str(tmp_path / "out")
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps({"faults": [
+            {"site": "worker.task", "action": "raise", "match": "c0:",
+             "times": None}]}))
+        plan_module.reset()
+        try:
+            assert main(["sweep", "run", "--spec", spec_path, "--out",
+                         out, "--max-retries", "0"]) == 3
+        finally:
+            monkeypatch.delenv(FAULT_PLAN_ENV)
+            plan_module.reset()
+        assert "quarantined" in capsys.readouterr().out
+
+        assert main(["sweep", "status", "--out", out,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 2
+        assert payload["computed"] == 0
+        # Failed points are counted exactly once — as failed, not as
+        # missing/pending.
+        assert payload["missing"] == 0
+        assert payload["complete"] is False
+
+
+class TestDistCommands:
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        spec = {
+            "name": "cli-dist",
+            "sweep": {
+                "workloads": ["dss-qry2"],
+                "instructions": 30_000,
+                "seeds": 3,
+                "cache": {"kb": 16},
+                "engines": ["next-line", "tifs"],
+            },
+        }
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_transport_local_matches_inline_bytes(self, spec_path,
+                                                  tmp_path, capsys):
+        inline = str(tmp_path / "inline")
+        dist = str(tmp_path / "dist")
+        assert main(["sweep", "run", "--spec", spec_path,
+                     "--out", inline]) == 0
+        assert main(["sweep", "run", "--spec", spec_path, "--out", dist,
+                     "--transport", "local", "--workers", "2"]) == 0
+        assert "2 points computed" in capsys.readouterr().out
+        assert main(["sweep", "verify", "--out", inline,
+                     "--repair"]) == 0
+        assert main(["sweep", "verify", "--out", dist, "--repair"]) == 0
+        capsys.readouterr()
+        from pathlib import Path
+
+        assert Path(inline, "results.jsonl").read_bytes() \
+            == Path(dist, "results.jsonl").read_bytes()
+
+    def test_worker_parser_and_validation(self, capsys):
+        args = build_parser().parse_args(
+            ["worker", "--coordinator", "http://127.0.0.1:8731"])
+        assert args.worker_id is None and args.poll_interval == 0.5
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])  # --coordinator required
+        assert main(["worker", "--coordinator", "http://127.0.0.1:1",
+                     "--poll-interval", "0"]) == 2
+        assert "--poll-interval" in capsys.readouterr().err
+
+    def test_worker_against_dead_coordinator_exits_1(self, capsys):
+        # Nothing listens on this port; the worker retries with backoff
+        # then gives up with the transport exit code.
+        assert main(["worker", "--coordinator", "http://127.0.0.1:9",
+                     "--worker-id", "t0",
+                     "--poll-interval", "0.01"]) == 1
+        assert "giving up" in capsys.readouterr().err
