@@ -105,11 +105,13 @@ class WallClockRule(Rule):
     """RL002: wall-clock reads inside result-producing modules.
 
     Scoped to the packages whose outputs land in traces, records, or
-    report rows (:data:`RESULT_SCOPE`).  The one audited exception is
-    built in: the trace store's scratch-GC cutoff
-    (``trace/store.py::_sweep_scratch``) uses mtime age purely to
-    decide whether an abandoned atomic-write staging file is safe to
-    delete — no result value flows from it.
+    report rows (:data:`RESULT_SCOPE`).  The audited exceptions are
+    built in, all in the trace store's garbage collection: the
+    scratch-GC cutoff (``trace/store.py::_sweep_scratch``), its
+    partial-download sibling (``_sweep_partial``), and ``gc`` itself
+    (the fresh-entry grace window shielding just-replicated archives
+    from concurrent eviction) use mtime age purely to decide whether a
+    file is safe to delete — no result value flows from any of them.
     """
 
     code = "RL002"
@@ -119,6 +121,8 @@ class WallClockRule(Rule):
     #: (package path, enclosing function) pairs audited as harmless.
     allowed_functions: FrozenSet[Tuple[str, str]] = frozenset({
         ("trace/store.py", "_sweep_scratch"),
+        ("trace/store.py", "_sweep_partial"),
+        ("trace/store.py", "gc"),
     })
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

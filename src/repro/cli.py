@@ -411,6 +411,11 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
     if args.lease_timeout <= 0:
         print("--lease-timeout must be positive", file=sys.stderr)
         return 2
+    if args.worker_store is not None and args.transport != "local":
+        print("--worker-store only applies to --transport local "
+              "(http workers set REPRO_TRACE_STORE and --fetch-traces "
+              "themselves)", file=sys.stderr)
+        return 2
     spec = _load_sweep_spec(args)
     if spec is None:
         return 2
@@ -426,7 +431,8 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
             workers=args.workers, limit=args.limit, kernel=args.kernel,
             max_retries=args.max_retries,
             lease_timeout=args.lease_timeout,
-            host=args.bind_host, port=args.bind_port)
+            host=args.bind_host, port=args.bind_port,
+            worker_store=args.worker_store)
     print(f"{summary.computed} points computed, {summary.skipped} already "
           f"stored, {summary.remaining} remaining")
     if summary.degraded():
@@ -590,20 +596,43 @@ def cmd_worker(args: argparse.Namespace) -> int:
     http`` (which prints the URL).  Each leased trace group runs
     through the exact same group path as every other execution mode,
     so the records streamed back are bit-identical to an inline run's.
+    ``--fetch-traces`` replicates archives this host lacks from the
+    coordinator's store (verified, resumable); on a generator mismatch
+    it adopts the coordinator's store as authoritative instead of
+    exiting 2.
     Exit codes: 0 sweep drained, 1 coordinator unreachable, 2 trace
-    generator-version mismatch with the coordinator.
+    generator-version mismatch with the coordinator (when fetching is
+    off, or the mismatch persists with an override installed).
     """
     import os
 
     from .dist.worker import run_worker
+    from .trace.store import TraceStore
 
     if args.poll_interval <= 0:
         print("--poll-interval must be positive", file=sys.stderr)
         return 2
+    budget_bytes = None
+    if args.replica_budget_mb is not None:
+        if args.replica_budget_mb <= 0:
+            print("--replica-budget-mb must be positive", file=sys.stderr)
+            return 2
+        if not args.fetch_traces:
+            print("--replica-budget-mb needs --fetch-traces",
+                  file=sys.stderr)
+            return 2
+        budget_bytes = int(args.replica_budget_mb * 1024 * 1024)
+    if args.fetch_traces and TraceStore.from_env() is None:
+        print("--fetch-traces needs an enabled trace store; set "
+              "REPRO_TRACE_STORE to the replica directory",
+              file=sys.stderr)
+        return 2
     worker_id = (args.worker_id if args.worker_id is not None
                  else f"worker-{os.getpid()}")
     return run_worker(args.coordinator, worker_id,
-                      poll_interval=args.poll_interval)
+                      poll_interval=args.poll_interval,
+                      fetch_traces=args.fetch_traces,
+                      replica_budget_bytes=budget_bytes)
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -759,6 +788,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="coordinator TCP port (default: 0 = "
                                 "pick a free one; --transport http "
                                 "prints the bound URL)")
+    sweep_run.add_argument("--worker-store", default=None,
+                           help="replica trace-store directory for "
+                                "--transport local workers; they start "
+                                "against it (even empty) and fetch "
+                                "missing archives from this "
+                                "coordinator's store with SHA-256 "
+                                "verification")
     sweep_run.set_defaults(func=cmd_sweep_run)
 
     sweep_verify = sweep_commands.add_parser(
@@ -845,6 +881,19 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--poll-interval", type=float, default=0.5,
                         help="seconds to sleep when the coordinator has "
                              "no pending task (default: 0.5)")
+    worker.add_argument("--fetch-traces", action="store_true",
+                        help="replicate missing trace archives from the "
+                             "coordinator's store (SHA-256-verified, "
+                             "resumable) instead of generating them "
+                             "locally; on a generator mismatch the "
+                             "coordinator's store becomes authoritative "
+                             "rather than exiting 2. Needs "
+                             "REPRO_TRACE_STORE")
+    worker.add_argument("--replica-budget-mb", type=float, default=None,
+                        help="cap the replica trace store at this many "
+                             "MiB, evicting least-recently-used "
+                             "archives after each fetch (default: "
+                             "unbounded)")
     worker.set_defaults(func=cmd_worker)
 
     lint = commands.add_parser(

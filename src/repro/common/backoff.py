@@ -1,0 +1,41 @@
+"""Deterministic capped-exponential retry backoff.
+
+Shared by every transport-retry loop in the distributed tier (the
+worker's lease polling and the trace replicator's chunk fetches).  The
+schedule is the classic ``base * 2**attempt`` capped at ``cap``, with a
+bounded jitter factor derived from a SHA-256 over ``(salt, attempt)``
+instead of a random draw: two workers hammering a recovering
+coordinator desynchronize (different salts → different jitter), yet any
+single worker's schedule is exactly reproducible — no ambient
+randomness, no clock reads, so faulted runs replay identically
+(the repo's RL001/RL002 determinism contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Fraction by which jitter can stretch a delay (factor in [1, 1.25)).
+JITTER_SPREAD = 0.25
+
+
+def backoff_delay(attempt: int, *, base: float, cap: float = 30.0,
+                  salt: str = "") -> float:
+    """Seconds to wait before retry ``attempt`` (0-based).
+
+    The raw schedule is ``base * 2**attempt``, stretched by a
+    deterministic jitter factor in ``[1, 1 + JITTER_SPREAD)`` derived
+    from ``(salt, attempt)`` — pass a stable identity (worker id,
+    archive name) as ``salt`` so concurrent retriers spread out — and
+    capped at ``cap``.
+    """
+    if attempt < 0:
+        raise ValueError("attempt cannot be negative")
+    if base <= 0:
+        raise ValueError("base must be positive")
+    if cap <= 0:
+        raise ValueError("cap must be positive")
+    digest = hashlib.sha256(f"{salt}:{attempt}".encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2 ** 64  # [0, 1)
+    delay = base * (2.0 ** attempt) * (1.0 + JITTER_SPREAD * unit)
+    return min(cap, delay)

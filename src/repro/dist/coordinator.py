@@ -44,6 +44,8 @@ from ..scenarios.runner import (DEFAULT_MAX_RETRIES, SweepRunSummary,
                                 _failed_records, prepare_sweep)
 from ..scenarios.spec import ScenarioSpec
 from ..service.schemas import payload_ack, payload_lease
+from ..trace.replicate import TraceExport
+from ..trace.store import TraceStore
 from .protocol import Heartbeat, TaskFailed, TaskLease, TaskResult
 
 #: Default seconds a lease may go without a heartbeat before the
@@ -248,7 +250,8 @@ def run_distributed_sweep(spec: ScenarioSpec, out: Union[str, Path], *,
                           log: Optional[Callable[[str], None]] = None,
                           max_retries: int = DEFAULT_MAX_RETRIES,
                           lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
-                          host: str = "127.0.0.1", port: int = 0
+                          host: str = "127.0.0.1", port: int = 0,
+                          worker_store: Optional[Union[str, Path]] = None
                           ) -> SweepRunSummary:
     """Run (or resume) ``spec`` through the coordinator/worker tier.
 
@@ -259,12 +262,22 @@ def run_distributed_sweep(spec: ScenarioSpec, out: Union[str, Path], *,
     waits for externally launched ``repro worker --coordinator URL``
     processes to drain the queue.
 
+    ``worker_store`` (local transport only) points the worker
+    subprocesses at a separate — possibly empty — replica trace store
+    and turns on ``--fetch-traces``: archives they lack are replicated
+    from this coordinator's store over loopback HTTP, with SHA-256
+    verification (:mod:`repro.trace.replicate`).
+
     Same summary, store layout, and resume/quarantine semantics as
     :func:`repro.scenarios.runner.run_sweep`; the differential harness
     in ``tests/dist/`` holds the stores byte-identical.
     """
     if transport not in ("local", "http"):
         raise ValueError(f"unknown transport {transport!r}")
+    if worker_store is not None and transport != "local":
+        raise ValueError("worker_store is a local-transport option; "
+                         "http workers set REPRO_TRACE_STORE and "
+                         "--fetch-traces themselves")
     if workers <= 0:
         raise ValueError("workers must be positive")
     if limit is not None and limit < 0:
@@ -288,7 +301,9 @@ def run_distributed_sweep(spec: ScenarioSpec, out: Union[str, Path], *,
                        lease_timeout=lease_timeout, emit=emit)
 
     from .http import build_coordinator_server  # avoid import cycle
-    server = build_coordinator_server(host, port, board)
+    store = TraceStore.from_env()
+    export = TraceExport(store.root) if store is not None else None
+    server = build_coordinator_server(host, port, board, export)
     listener = threading.Thread(target=server.serve_forever,
                                 name="dist-coordinator", daemon=True)
     listener.start()
@@ -297,7 +312,8 @@ def run_distributed_sweep(spec: ScenarioSpec, out: Union[str, Path], *,
     try:
         if transport == "local":
             from .local import run_local_workers
-            run_local_workers(url, board, workers, emit)
+            run_local_workers(url, board, workers, emit,
+                              worker_store=worker_store)
         else:
             emit(f"coordinator listening on {url}; start workers with: "
                  f"repro worker --coordinator {url}")

@@ -1,29 +1,36 @@
-"""The coordinator's HTTP face: three routes, strict bodies, no state.
+"""The coordinator's HTTP face: five routes, strict bodies, no state.
 
 Same stdlib stack and discipline as :mod:`repro.service.http` — a
 ``ThreadingHTTPServer`` whose handler resolves requests against the one
 shared route table (:data:`repro.service.schemas.ROUTES`) — but serving
 *only* the ``/v1/dist/*`` rows; the daemon's job routes answer 404 here,
-exactly mirroring the daemon answering the dist routes with 409.  All
+exactly mirroring the daemon answering the dist routes with 409.  Lease
 state lives in the :class:`~repro.dist.coordinator.LeaseBoard`; the
-handler threads only decode frames, call one board transition, and
-encode the payload back.
+trace-store export (``GET /v1/dist/traces`` and ``GET
+/v1/dist/traces/{key}``, the replication tier's server half) lives in a
+:class:`~repro.trace.replicate.TraceExport`.  Handler threads only
+decode frames, call one board/export operation, and encode the result.
 
 Error mapping: a frame that fails protocol validation is a 400 with the
 validator's message (never a stray ``KeyError`` on the socket), an
 unexpected handler bug is a structured 500, anything else is the
-board's own payload at 200.
+board's or export's own payload at 200 (or 206 for a ranged archive
+chunk).
 """
 
 from __future__ import annotations
 
 import json
+import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
+
 from urllib.parse import urlsplit
 
+from ..scenarios.results import current_generator
 from ..service.schemas import (match_route, payload_error,
-                               payload_internal_error)
+                               payload_internal_error, payload_traces)
+from ..trace.replicate import SHA_HEADER, SIZE_HEADER, TraceExport
 from .coordinator import LeaseBoard
 from .protocol import Heartbeat, ProtocolError, TaskFailed, TaskResult, decode
 
@@ -31,25 +38,36 @@ from .protocol import Heartbeat, ProtocolError, TaskFailed, TaskResult, decode
 #: frame for a wide group stays far below this).
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
-#: (status, body bytes) — a prepared response.
-_Prepared = Tuple[int, bytes]
+#: (status, body bytes, headers) — a prepared response.  ``headers``
+#: always includes Content-Type; archive responses add the
+#: advertisement headers.
+_Prepared = Tuple[int, bytes, Dict[str, str]]
+
+#: The one Range form the fetch client sends: ``bytes=start-end``
+#: (``end`` optional).  Anything else is a 400.
+_RANGE_PATTERN = re.compile(r"^bytes=(\d+)-(\d*)$")
 
 
 class CoordinatorServer(ThreadingHTTPServer):
-    """The coordinator's loopback server, bound to one lease board."""
+    """The coordinator's loopback server, bound to one lease board and
+    (optionally) one trace-store export."""
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], board: LeaseBoard) -> None:
+    def __init__(self, address: Tuple[str, int], board: LeaseBoard,
+                 export: Optional[TraceExport] = None) -> None:
         super().__init__(address, CoordinatorRequestHandler)
         self.board = board
+        self.export = export
 
 
-def build_coordinator_server(host: str, port: int,
-                             board: LeaseBoard) -> CoordinatorServer:
+def build_coordinator_server(host: str, port: int, board: LeaseBoard,
+                             export: Optional[TraceExport] = None
+                             ) -> CoordinatorServer:
     """Bind the coordinator (port 0 picks a free port — the local
-    transport and the tests)."""
-    return CoordinatorServer((host, port), board)
+    transport and the tests).  ``export`` enables the trace routes;
+    None (a disabled trace store) answers them 404."""
+    return CoordinatorServer((host, port), board, export)
 
 
 class CoordinatorRequestHandler(BaseHTTPRequestHandler):
@@ -66,30 +84,33 @@ class CoordinatorRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         path = urlsplit(self.path).path
-        route, _, _ = match_route(method, path)
+        route, params, _ = match_route(method, path)
         try:
             if route is None or not route.pattern.startswith("/v1/dist/"):
-                status, body = self._json_response(404, payload_error(
-                    f"{path} is not served by the sweep coordinator; "
-                    "its routes are POST /v1/dist/{lease,records,"
-                    "heartbeat}"))
+                status, body, headers = self._json_response(
+                    404, payload_error(
+                        f"{path} is not served by the sweep coordinator; "
+                        "its routes are POST /v1/dist/{lease,records,"
+                        "heartbeat} and GET /v1/dist/traces[/{key}]"))
             else:
-                status, body = getattr(self, route.handler)()
+                status, body, headers = getattr(
+                    self, route.handler)(params)
         except ProtocolError as error:
-            status, body = self._json_response(
+            status, body, headers = self._json_response(
                 400, payload_error(f"malformed frame: {error}"))
         except Exception as error:  # reprolint: disable=RL009 - last-resort HTTP boundary: an unexpected coordinator bug becomes a structured 500 instead of a raw traceback on the worker's socket
-            status, body = self._json_response(
+            status, body, headers = self._json_response(
                 500, payload_internal_error(error))
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        for name, value in headers.items():
+            self.send_header(name, value)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
     # ----------------------------------------------------------- handlers
 
-    def handle_dist_lease(self) -> _Prepared:
+    def handle_dist_lease(self, params: Dict[str, str]) -> _Prepared:
         request = self._read_body()
         if (not isinstance(request, dict) or set(request) != {"worker"}
                 or not isinstance(request["worker"], str)):
@@ -98,7 +119,7 @@ class CoordinatorRequestHandler(BaseHTTPRequestHandler):
         return self._json_response(
             200, self.server.board.request_lease(request["worker"]))
 
-    def handle_dist_records(self) -> _Prepared:
+    def handle_dist_records(self, params: Dict[str, str]) -> _Prepared:
         report = decode(self._read_raw_body())
         if not isinstance(report, (TaskResult, TaskFailed)):
             raise ProtocolError(
@@ -106,12 +127,61 @@ class CoordinatorRequestHandler(BaseHTTPRequestHandler):
                 f"frames, not {report.TYPE!r}")
         return self._json_response(200, self.server.board.submit(report))
 
-    def handle_dist_heartbeat(self) -> _Prepared:
+    def handle_dist_heartbeat(self, params: Dict[str, str]) -> _Prepared:
         beat = decode(self._read_raw_body())
         if not isinstance(beat, Heartbeat):
             raise ProtocolError(f"/v1/dist/heartbeat takes heartbeat "
                                 f"frames, not {beat.TYPE!r}")
         return self._json_response(200, self.server.board.heartbeat(beat))
+
+    def handle_dist_traces(self, params: Dict[str, str]) -> _Prepared:
+        export = self.server.export
+        if export is None:
+            return self._json_response(404, payload_error(
+                "this coordinator has no trace store to export "
+                "(REPRO_TRACE_STORE is disabled)"))
+        return self._json_response(
+            200, payload_traces(export.listing(), current_generator()))
+
+    def handle_dist_trace_fetch(self, params: Dict[str, str]) -> _Prepared:
+        export = self.server.export
+        if export is None:
+            return self._json_response(404, payload_error(
+                "this coordinator has no trace store to export "
+                "(REPRO_TRACE_STORE is disabled)"))
+        name = params["key"]
+        entry = export.open_entry(name)
+        if entry is None:
+            return self._json_response(404, payload_error(
+                f"no archive {name!r} in the coordinator's trace store"))
+        path, size, sha256 = entry
+        headers = {"Content-Type": "application/octet-stream",
+                   SIZE_HEADER: str(size), SHA_HEADER: sha256}
+        window = self._parse_range(size)
+        if window is None:
+            return 200, export.read_range(path, 0, size), headers
+        start, length = window
+        return 206, export.read_range(path, start, length), headers
+
+    def _parse_range(self, size: int) -> Optional[Tuple[int, int]]:
+        """Decode the request's Range header into ``(start, length)``,
+        clamped to the archive (a start at/past EOF yields an empty
+        window rather than 416 — the fetch client's resume probe).
+        None means no Range: serve the whole file at 200."""
+        header = self.headers.get("Range")
+        if header is None:
+            return None
+        found = _RANGE_PATTERN.match(header.strip())
+        if found is None:
+            raise ProtocolError(
+                f"unsupported Range {header!r}; use bytes=start-end")
+        start = int(found.group(1))
+        end = int(found.group(2)) if found.group(2) else size - 1
+        if end < start:
+            raise ProtocolError(
+                f"unsatisfiable Range {header!r} (end before start)")
+        start = min(start, size)
+        return start, min(end + 1, size) - start
 
     # ------------------------------------------------------------ plumbing
 
@@ -139,8 +209,9 @@ class CoordinatorRequestHandler(BaseHTTPRequestHandler):
 
     def _json_response(self, status: int,
                        payload: Dict[str, Any]) -> _Prepared:
-        return status, (json.dumps(payload, sort_keys=True,
-                                   separators=(",", ":")) + "\n").encode()
+        body = (json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")) + "\n").encode()
+        return status, body, {"Content-Type": "application/json"}
 
     def log_message(self, format: str, *args: Any) -> None:
         """Silence per-request stderr lines; the board's emit callback

@@ -26,8 +26,9 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Union
 
+from ..trace.store import STORE_ENV
 from .coordinator import LeaseBoard
 
 #: Seconds between supervision polls (child liveness + lease expiry).
@@ -42,33 +43,46 @@ _DRAIN_GRACE = 10.0
 _WORKER_POLL_INTERVAL = "0.05"
 
 
-def _worker_env() -> Dict[str, str]:
+def _worker_env(worker_store: Optional[Union[str, Path]] = None
+                ) -> Dict[str, str]:
     """The child environment: the parent's, with this repro package
     importable.  An armed fault plan rides along in it — worker
     subprocesses re-read REPRO_FAULT_PLAN with fresh counters, exactly
-    like the persistent pool's initializer snapshot."""
+    like the persistent pool's initializer snapshot.  ``worker_store``
+    repoints the children's trace store at a (possibly cold) replica
+    directory, distinct from the coordinator's."""
     env = dict(os.environ)  # reprolint: disable=RL004 - parent-side snapshot handed to worker subprocesses (the dist analogue of parallel._initargs)
     package_root = str(Path(__file__).resolve().parents[2])
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = (package_root if not existing
                          else os.pathsep.join([package_root, existing]))
+    if worker_store is not None:
+        env[STORE_ENV] = str(worker_store)
     return env
 
 
-def _spawn(url: str, worker_id: str, env: Dict[str, str]
-           ) -> "subprocess.Popen[bytes]":
+def _spawn(url: str, worker_id: str, env: Dict[str, str],
+           fetch_traces: bool = False) -> "subprocess.Popen[bytes]":
+    command = [sys.executable, "-m", "repro", "worker",
+               "--coordinator", url, "--worker-id", worker_id,
+               "--poll-interval", _WORKER_POLL_INTERVAL]
+    if fetch_traces:
+        command.append("--fetch-traces")
     return subprocess.Popen(
-        [sys.executable, "-m", "repro", "worker",
-         "--coordinator", url, "--worker-id", worker_id,
-         "--poll-interval", _WORKER_POLL_INTERVAL],
-        env=env, stdout=subprocess.DEVNULL, stderr=None)
+        command, env=env, stdout=subprocess.DEVNULL, stderr=None)
 
 
 def run_local_workers(url: str, board: LeaseBoard, workers: int,
-                      emit: Callable[[str], None]) -> None:
+                      emit: Callable[[str], None], *,
+                      worker_store: Optional[Union[str, Path]] = None
+                      ) -> None:
     """Spawn and supervise ``workers`` local subprocesses until the
-    board drains (or everything left is quarantined)."""
-    env = _worker_env()
+    board drains (or everything left is quarantined).  With
+    ``worker_store`` set, children run against that replica trace
+    store with ``--fetch-traces`` — archives they lack are replicated
+    from this coordinator over loopback HTTP."""
+    env = _worker_env(worker_store)
+    fetch = worker_store is not None
     # Enough respawns for every task to burn its full retry allowance
     # on a dying worker, plus the initial fleet.
     budget = workers + board.task_count() * (board.max_retries + 1)
@@ -76,7 +90,7 @@ def run_local_workers(url: str, board: LeaseBoard, workers: int,
     fleet: Dict[str, "subprocess.Popen[bytes]"] = {}
     for slot in range(workers):
         worker_id = f"w{slot}"
-        fleet[worker_id] = _spawn(url, worker_id, env)
+        fleet[worker_id] = _spawn(url, worker_id, env, fetch)
         budget -= 1
     try:
         while not board.done():
@@ -96,13 +110,14 @@ def run_local_workers(url: str, board: LeaseBoard, workers: int,
                     generation += 1
                     slot = worker_id.split("r")[0]
                     replacement = f"{slot}r{generation}"
-                    fleet[replacement] = _spawn(url, replacement, env)
+                    fleet[replacement] = _spawn(url, replacement, env,
+                                                fetch)
                     budget -= 1
             if not fleet and not board.done():
                 if budget > 0:
                     generation += 1
                     worker_id = f"w0r{generation}"
-                    fleet[worker_id] = _spawn(url, worker_id, env)
+                    fleet[worker_id] = _spawn(url, worker_id, env, fetch)
                     budget -= 1
                 else:
                     drained = board.fail_outstanding()

@@ -294,6 +294,48 @@ class Heartbeat:
                 "worker": self.worker, "beat": self.beat}
 
 
+@dataclass(frozen=True)
+class TraceAd:
+    """One advertised trace archive in the coordinator's store listing
+    (an entry of the ``traces`` payload): the store filename, byte
+    size, and transfer SHA-256 a replica must re-hash to.  Not a
+    top-level wire frame — it nests inside the JSON listing — but it
+    gets the same strict decode treatment so a worker never acts on a
+    garbled advertisement."""
+
+    key: str
+    size: int
+    sha256: str
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"key": self.key, "size": self.size, "sha256": self.sha256}
+
+
+_TRACE_AD_KEYS = frozenset({"key", "size", "sha256"})
+
+_SHA256_HEX = frozenset("0123456789abcdef")
+
+
+def trace_ad_from_wire(document: Any, label: str = "trace") -> TraceAd:
+    """Validate one listing entry into a :class:`TraceAd` (strict: key
+    set, types, a well-formed 64-hex digest, a non-negative size)."""
+    document = _require_mapping(document, label)
+    _require_keys(label, document, _TRACE_AD_KEYS)
+    ad = TraceAd(
+        key=_field(document, "key", str, label, "a string"),
+        size=_field(document, "size", int, label, "an integer"),
+        sha256=_field(document, "sha256", str, label, "a string"),
+    )
+    if ad.size < 0:
+        raise ProtocolError(f"{label}.size cannot be negative")
+    if len(ad.sha256) != 64 or not set(ad.sha256) <= _SHA256_HEX:
+        raise ProtocolError(f"{label}.sha256 is not a lowercase hex "
+                            "SHA-256 digest")
+    if not ad.key:
+        raise ProtocolError(f"{label}.key cannot be empty")
+    return ad
+
+
 Document = Union[TaskLease, TaskResult, TaskFailed, Heartbeat]
 
 

@@ -18,12 +18,24 @@ Failure discipline mirrors :mod:`repro.experiments.parallel` exactly:
   from the coordinator's) refuses the lease and exits distinctly: any
   records it computed would be ignored as stale by the store.
 
+With ``--fetch-traces`` the mismatch rule softens: the coordinator's
+store is authoritative, so instead of exiting the worker installs the
+coordinator's generator prefix as an override
+(:func:`repro.trace.store.set_generator_override`), forbids local
+generation (``require_fetch``), and replicates every archive it needs
+over ``GET /v1/dist/traces/{key}`` — integrity-verified and resumable
+(:mod:`repro.trace.replicate`).  A replication failure surfaces as a
+structured ``task-failed`` report, never a hang and never a
+silently-wrong trace.
+
 Exit codes: 0 sweep drained, 1 coordinator unreachable (after bounded
-retries), 2 generator mismatch.
+retries), 2 generator mismatch (with fetching off, or persisting after
+an override is already installed).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import sys
 import threading
@@ -32,9 +44,13 @@ import urllib.error
 import urllib.request
 from typing import Any, Callable, Dict, Optional
 
+from ..common.backoff import backoff_delay
 from ..faults import fire
+from ..pipeline.tracegen import cached_trace
 from ..scenarios.results import current_generator
 from ..scenarios.runner import _run_group
+from ..trace import replicate
+from ..trace.store import TraceStore, set_generator_override
 from .protocol import (Heartbeat, ProtocolError, TaskFailed, TaskLease,
                        TaskResult, decode_document, encode)
 
@@ -125,17 +141,53 @@ def run_worker(coordinator: str, worker_id: str, *,
                poll_interval: float = DEFAULT_POLL_INTERVAL,
                heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
                log: Optional[Callable[[str], None]] = None,
-               client: Optional[CoordinatorClient] = None) -> int:
+               client: Optional[CoordinatorClient] = None,
+               fetch_traces: bool = False,
+               replica_budget_bytes: Optional[int] = None) -> int:
     """Pull and execute leases from ``coordinator`` until drained.
 
     Returns the process exit code (see module docstring).  ``client``
     is injectable for tests; the default speaks HTTP to
     ``coordinator`` (a base URL like ``http://127.0.0.1:8731``).
+    ``fetch_traces`` replicates missing archives from the coordinator
+    (and requires an enabled trace store to land them in);
+    ``replica_budget_bytes`` caps the replica store, enforced by a gc
+    pass after each fetched archive.
     """
     emit = log if log is not None else (
         lambda line: print(line, file=sys.stderr))
     client = client if client is not None else CoordinatorClient(coordinator)
+    fetcher: Optional[replicate.TraceFetcher] = None
+    if fetch_traces:
+        if TraceStore.from_env() is None:
+            raise ValueError("--fetch-traces needs an enabled trace "
+                             "store (set REPRO_TRACE_STORE) to land "
+                             "replicated archives in")
+        fetcher = replicate.TraceFetcher(
+            coordinator, worker_id=worker_id,
+            budget_bytes=replica_budget_bytes)
+    with contextlib.ExitStack() as stack:
+        if fetcher is not None:
+            stack.enter_context(replicate.installed(fetcher))
+        try:
+            return _lease_loop(client, worker_id, fetcher, emit,
+                               poll_interval, heartbeat_interval)
+        finally:
+            # Drop any coordinator generator override this loop
+            # installed, and the trace memo built under it — the
+            # process usually exits here, but the in-process tests
+            # (and any embedding caller) must get their own generator
+            # identity back.
+            set_generator_override(None)
+            cached_trace.cache_clear()
+
+
+def _lease_loop(client: CoordinatorClient, worker_id: str,
+                fetcher: Optional[replicate.TraceFetcher],
+                emit: Callable[[str], None], poll_interval: float,
+                heartbeat_interval: float) -> int:
     generator = current_generator()
+    override_installed = False
     transport_failures = 0
     while True:
         try:
@@ -146,7 +198,12 @@ def run_worker(coordinator: str, worker_id: str, *,
                 emit(f"{worker_id}: giving up after "
                      f"{transport_failures} transport failures: {error}")
                 return 1
-            time.sleep(poll_interval * transport_failures)
+            # Capped-exponential with deterministic worker-id jitter —
+            # a rebooting coordinator is not greeted by every worker's
+            # identical linear schedule (repro.common.backoff).
+            time.sleep(backoff_delay(transport_failures - 1,
+                                     base=poll_interval,
+                                     salt=worker_id))
             continue
         transport_failures = 0
         state = payload.get("state")
@@ -170,10 +227,30 @@ def run_worker(coordinator: str, worker_id: str, *,
                  f"{error}; exiting")
             return 1
         if lease.generator != generator:
-            emit(f"{worker_id}: generator mismatch (coordinator "
-                 f"{lease.generator}, worker {generator}); records would "
-                 "be stale — exiting")
-            return 2
+            if fetcher is not None and not override_installed:
+                # The coordinator's store is authoritative when we can
+                # fetch from it: adopt its generator identity, forbid
+                # local generation (a locally generated trace would be
+                # from *our* sources, silently wrong), drop any memoised
+                # traces, and carry on.
+                try:
+                    set_generator_override(lease.generator)
+                except ValueError as error:
+                    emit(f"{worker_id}: coordinator advertises an "
+                         f"unusable generator: {error}; exiting")
+                    return 2
+                cached_trace.cache_clear()
+                fetcher.require_fetch = True
+                override_installed = True
+                generator = current_generator()
+                emit(f"{worker_id}: generator mismatch; trusting the "
+                     f"coordinator's store ({lease.generator}) — local "
+                     "generation disabled, archives will be fetched")
+            else:
+                emit(f"{worker_id}: generator mismatch (coordinator "
+                     f"{lease.generator}, worker {generator}); records "
+                     "would be stale — exiting")
+                return 2
         task = lease.task
         with _HeartbeatPump(client, lease.lease, worker_id,
                             heartbeat_interval):

@@ -14,9 +14,10 @@ Each entry arms one :class:`Fault`:
 
 * ``site`` — which registered injection point it applies to (see the
   table in DESIGN.md "Failure model"; e.g. ``worker.task``,
-  ``trace.open``, ``results.append``, ``plans.load``, and the
+  ``trace.open``, ``results.append``, ``plans.load``, the
   distributed tier's ``dist.lease`` / ``dist.worker`` /
-  ``dist.result``).
+  ``dist.result``, and trace replication's ``replicate.fetch`` /
+  ``replicate.chunk``).
 * ``action`` — ``kill`` (``os._exit(86)`` — a segfault stand-in),
   ``raise`` (throw from the site), or ``truncate``/``corrupt`` (the
   site receives the fault back and damages its own payload, so the

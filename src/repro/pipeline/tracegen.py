@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from ..common.config import SystemConfig
 from ..common.profiling import STAGE_TRACE_LOAD, stage
+from ..trace import replicate
 from ..trace.bundle import TraceBundle
 from ..trace.store import TraceKey, TraceStore
 from ..workloads.executor import ProgramExecutor
@@ -129,6 +130,18 @@ def cached_trace(workload: str, instructions: int, seed: int,
                        seed=seed, core=core)
         if store is not None:
             loaded = store.get(key)
+            if loaded is None:
+                # Local miss: before generating, consult the installed
+                # replication fetcher (a --fetch-traces worker) — the
+                # coordinator's verified archive beats regeneration.
+                fetcher = replicate.active_fetcher()
+                if fetcher is not None and fetcher.fetch(key, store):
+                    loaded = store.get(key)
+                    if loaded is None and fetcher.require_fetch:
+                        raise replicate.ReplicationError(
+                            f"replicated archive for {key} did not load "
+                            "back, and a generator override forbids "
+                            "local generation")
             if loaded is not None:
                 bundle, extra = loaded
                 return GeneratedTrace(bundle=bundle,

@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Tuple, Union
 
 from ..faults import fire
-from ..trace.store import generator_version_hash
+from ..trace.store import active_generator
 
 #: Record field holding the point hash.
 HASH_FIELD = "hash"
@@ -49,8 +49,11 @@ GENERATOR_FIELD = "generator"
 
 
 def current_generator() -> str:
-    """The generator-version prefix stamped into new records."""
-    return generator_version_hash()[:12]
+    """The generator-version prefix stamped into new records (the
+    local source hash, or a ``--fetch-traces`` worker's installed
+    coordinator override — see
+    :func:`repro.trace.store.set_generator_override`)."""
+    return active_generator()
 
 
 def _atomic_append(path: Path, lines: Iterable[str], site: str) -> None:

@@ -195,6 +195,13 @@ class SweepRequestHandler(BaseHTTPRequestHandler):
     def handle_dist_heartbeat(self, params: Dict[str, str]) -> "_Prepared":
         return self._json_response(409, payload_error(self._DIST_NOT_HERE))
 
+    def handle_dist_traces(self, params: Dict[str, str]) -> "_Prepared":
+        return self._json_response(409, payload_error(self._DIST_NOT_HERE))
+
+    def handle_dist_trace_fetch(self, params: Dict[str, str]
+                                ) -> "_Prepared":
+        return self._json_response(409, payload_error(self._DIST_NOT_HERE))
+
     # ------------------------------------------------------------ plumbing
 
     def _read_spec_body(self

@@ -66,6 +66,9 @@ ROUTES: Tuple[Route, ...] = (
     Route("POST", "/v1/dist/lease", "handle_dist_lease", "lease"),
     Route("POST", "/v1/dist/records", "handle_dist_records", "ack"),
     Route("POST", "/v1/dist/heartbeat", "handle_dist_heartbeat", "ack"),
+    Route("GET", "/v1/dist/traces", "handle_dist_traces", "traces"),
+    Route("GET", "/v1/dist/traces/{key}", "handle_dist_trace_fetch",
+          "trace-archive"),
 )
 
 
@@ -125,6 +128,12 @@ RESPONSE_SCHEMAS: Dict[str, frozenset] = {
     # coordinator's acknowledgement ("stale" means the lease expired
     # and the task was requeued; the worker drops its copy)
     "ack": frozenset({"status", "lease"}),
+    # GET /v1/dist/traces — the coordinator's trace-store listing
+    # (every advertised archive's transfer identity, so a replica can
+    # be audited against it).  GET /v1/dist/traces/{key} returns the
+    # archive *bytes* (the "trace-archive" schema), which — like the
+    # text "report" route — is deliberately not a JSON schema here.
+    "traces": frozenset({"traces", "count", "generator"}),
 }
 
 #: Values of the "lease" document's ``state`` field: a task was leased,
@@ -140,6 +149,12 @@ LEASE_DOCUMENT_KEYS = frozenset({"type", "lease", "generator", "task"})
 
 #: Key set of one entry of the ``jobs`` list in the "jobs" schema.
 JOB_LIST_ENTRY_KEYS = frozenset({"id", "scenario", "state", "seq"})
+
+#: Key set of one entry of the ``traces`` list in the "traces" schema:
+#: the archive's store filename, byte size, and transfer SHA-256
+#: (validated against :mod:`repro.dist.protocol`'s TraceAd decoder by
+#: the fetch client).
+TRACE_AD_KEYS = frozenset({"key", "size", "sha256"})
 
 #: Key set of the ``queue`` object in the "health" schema.
 QUEUE_KEYS = frozenset({"capacity", "available"})
@@ -165,10 +180,14 @@ def validate_payload(schema: str, payload: Any) -> None:
     """Assert ``payload`` matches ``RESPONSE_SCHEMAS[schema]`` exactly
     (top-level keys, plus the documented nested objects).  Raises
     :class:`SchemaError` naming the divergence.  The "report" schema is
-    text, not JSON — validating it here is a usage error.
+    text and "trace-archive" is raw archive bytes, not JSON —
+    validating either here is a usage error.
     """
     if schema == "report":
         raise SchemaError("the report endpoint returns text, not JSON")
+    if schema == "trace-archive":
+        raise SchemaError("the trace-archive endpoint returns archive "
+                          "bytes, not JSON")
     try:
         keys = RESPONSE_SCHEMAS[schema]
     except KeyError:
@@ -202,6 +221,18 @@ def validate_payload(schema: str, payload: Any) -> None:
                               f"one of {sorted(ACK_STATUSES)}")
         if not isinstance(payload["lease"], str):
             raise SchemaError("ack.lease must be a lease-id string")
+    elif schema == "traces":
+        entries = payload["traces"]
+        if not isinstance(entries, list):
+            raise SchemaError("traces.traces must be a list")
+        for index, entry in enumerate(entries):
+            _require_keys(f"traces[{index}]", entry, TRACE_AD_KEYS)
+        if payload["count"] != len(entries):
+            raise SchemaError(f"traces.count {payload['count']!r} does "
+                              f"not match the {len(entries)} entries")
+        if not isinstance(payload["generator"], str):
+            raise SchemaError("traces.generator must be the "
+                              "coordinator's 12-char generator prefix")
 
 
 # ---------------------------------------------------------------------------
@@ -259,6 +290,14 @@ def payload_ack(status: str, lease: str) -> Dict[str, Any]:
     """The "ack" document: ``status`` ∈ :data:`ACK_STATUSES` for the
     named lease."""
     return {"status": status, "lease": lease}
+
+
+def payload_traces(ads: List[Dict[str, Any]],
+                   generator: str) -> Dict[str, Any]:
+    """The "traces" document: every advertised archive's transfer
+    identity (:data:`TRACE_AD_KEYS` entries) plus the coordinator's
+    generator prefix."""
+    return {"traces": ads, "count": len(ads), "generator": generator}
 
 
 def payload_health(version: str, generator: str, counts: Dict[str, int],

@@ -34,6 +34,7 @@ instead of crashing.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import struct
@@ -146,6 +147,30 @@ def save_bundle_atomic(bundle: TraceBundle, path: Union[str, Path],
     finally:
         scratch.unlink(missing_ok=True)
     return path
+
+
+#: Bytes hashed per read when digesting an archive file.
+_HASH_CHUNK_BYTES = 1 << 20
+
+
+def archive_sha256(path: Union[str, Path]) -> str:
+    """Streamed SHA-256 over an archive's file bytes.
+
+    This is the *transfer* integrity hash the replication tier verifies
+    fetched archives against (:mod:`repro.trace.replicate`) — the raw
+    on-disk bytes, not the semantic column digest of
+    :meth:`repro.trace.bundle.TraceBundle.content_hash` — so a replica
+    admitted under this hash is byte-identical to the coordinator's
+    copy, mmap offsets and all.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(_HASH_CHUNK_BYTES)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
 
 
 #: Size of a local zip file header up to the variable-length fields.

@@ -66,7 +66,17 @@ _GENERATOR_SOURCE_GLOBS = (
     "trace/serialize.py",
 )
 
+#: Subdirectory of the store root where the replication tier stages
+#: partially fetched archives (``{name}.npz.part``).  Kept out of the
+#: flat ``*.npz`` namespace so directory scans and gc never mistake a
+#: half-transferred file for a real entry.
+PARTIAL_DIR = "partial"
+
 _generator_hash_cache: Optional[str] = None
+
+#: When set (a 12-char prefix), :func:`active_generator` reports this
+#: instead of the local source hash — see :func:`set_generator_override`.
+_generator_override: Optional[str] = None
 
 
 def _hash_sources(package_root: Path) -> str:
@@ -95,6 +105,44 @@ def generator_version_hash() -> str:
     return _generator_hash_cache
 
 
+def active_generator() -> str:
+    """The 12-char generator prefix store paths and records key by.
+
+    Normally the local source hash's prefix; a ``--fetch-traces``
+    worker that accepted the coordinator's store as authoritative
+    reports the coordinator's prefix instead
+    (:func:`set_generator_override`).
+    """
+    return (_generator_override if _generator_override is not None
+            else generator_version_hash()[:12])
+
+
+def generator_override() -> Optional[str]:
+    """The installed override prefix, or None when keying locally."""
+    return _generator_override
+
+
+def set_generator_override(prefix: Optional[str]) -> None:
+    """Key store paths (and result records) by ``prefix`` instead of
+    this process's own generator-source hash.
+
+    This is the ``repro worker --fetch-traces`` escape hatch for a
+    generator-version mismatch: the worker stops trusting its own
+    generator entirely — local generation is forbidden while an
+    override is active (:mod:`repro.trace.replicate` enforces it) — and
+    replays only coordinator-fetched archives, so the records it
+    reports are exactly what the coordinator's own code would have
+    produced.  ``None`` removes the override.
+    """
+    global _generator_override
+    if prefix is not None and not (
+            len(prefix) == 12
+            and all(ch in "0123456789abcdef" for ch in prefix)):
+        raise ValueError(f"generator override must be a 12-char lowercase "
+                         f"hex prefix, got {prefix!r}")
+    _generator_override = prefix
+
+
 class TraceKey(NamedTuple):
     """Identity of one generated trace (minus the generator version)."""
 
@@ -116,8 +164,8 @@ class StoreEntry:
 
     @property
     def current(self) -> bool:
-        """True when the entry matches the running generator version."""
-        return self.generator_hash == generator_version_hash()[:12]
+        """True when the entry matches the active generator version."""
+        return self.generator_hash == active_generator()
 
 
 def ensure_scratch_store(prefix: str = "repro-traces-") -> Optional[Path]:
@@ -167,7 +215,7 @@ class TraceStore:
         """The archive path a key resolves to under the current
         generator version."""
         name = (f"{key.workload}__i{key.instructions}__s{key.seed}"
-                f"__c{key.core}__g{generator_version_hash()[:12]}.npz")
+                f"__c{key.core}__g{active_generator()}.npz")
         return self.root / name
 
     # ------------------------------------------------------------------
@@ -254,7 +302,10 @@ class TraceStore:
         files whose names the store did not produce are left untouched —
         they are not the store's to delete, even under ``remove_all``.
         ``max_bytes`` additionally evicts least-recently-used *current*
-        entries until the store fits the budget.  ``remove_all`` clears
+        entries until the store fits the budget — except entries written
+        within the last :data:`_FRESH_GRACE_SECONDS`, so a budgeted gc
+        racing a concurrent fetcher can never delete a just-verified
+        archive before its reader has opened it.  ``remove_all`` clears
         every store-produced archive.
         """
         removed: List[Path] = []
@@ -268,17 +319,26 @@ class TraceStore:
             else:
                 survivors.append(entry)
         removed.extend(self._sweep_scratch())
+        removed.extend(self._sweep_partial(remove_all))
         if remove_all:
             removed.extend(self._sweep_plans())
         if max_bytes is not None:
+            fresh_cutoff = time.time() - self._FRESH_GRACE_SECONDS
             occupancy = sum(entry.size_bytes for entry in survivors)
             for entry in reversed(survivors):  # oldest mtime first
                 if occupancy <= max_bytes:
                     break
+                if entry.mtime >= fresh_cutoff:
+                    continue
                 entry.path.unlink(missing_ok=True)
                 removed.append(entry.path)
                 occupancy -= entry.size_bytes
         return removed
+
+    #: Entries younger than this never fall to ``max_bytes`` eviction —
+    #: a freshly admitted (replicated or generated) archive is assumed
+    #: to have a live reader about to open it.
+    _FRESH_GRACE_SECONDS = 300.0
 
     #: Scratch files younger than this are assumed to have live writers.
     _SCRATCH_MAX_AGE_SECONDS = 3600.0
@@ -300,6 +360,29 @@ class TraceStore:
             try:
                 path.unlink()
                 removed.append(path)
+            except OSError:
+                continue
+        return removed
+
+    def _sweep_partial(self, remove_all: bool) -> List[Path]:
+        """Delete abandoned replication ``.part`` files (``partial/``).
+
+        A fresh ``.part`` belongs to a live fetcher mid-download and is
+        never touched (the gc-exemption half of the replica-store
+        contract); one older than the scratch age gate was orphaned by
+        a dead worker and is reclaimed.  ``remove_all`` clears them
+        unconditionally.
+        """
+        staging = self.root / PARTIAL_DIR
+        if not staging.is_dir():
+            return []
+        removed: List[Path] = []
+        cutoff = time.time() - self._SCRATCH_MAX_AGE_SECONDS
+        for partial in staging.glob("*.part"):
+            try:
+                if remove_all or partial.stat().st_mtime < cutoff:
+                    partial.unlink(missing_ok=True)
+                    removed.append(partial)
             except OSError:
                 continue
         return removed

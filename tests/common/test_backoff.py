@@ -1,0 +1,52 @@
+"""Shared retry backoff: capped-exponential growth, deterministic jitter."""
+
+import pytest
+
+from repro.common.backoff import JITTER_SPREAD, backoff_delay
+
+
+class TestSchedule:
+    def test_grows_exponentially_until_the_cap(self):
+        delays = [backoff_delay(attempt, base=0.1, cap=1000.0, salt="w0")
+                  for attempt in range(8)]
+        for earlier, later in zip(delays, delays[1:]):
+            assert later > earlier
+        # Jitter is bounded, so consecutive delays keep (roughly)
+        # doubling: the ratio stays within the jitter envelope.
+        for earlier, later in zip(delays, delays[1:]):
+            assert 2.0 / (1.0 + JITTER_SPREAD) <= later / earlier \
+                <= 2.0 * (1.0 + JITTER_SPREAD)
+
+    def test_never_exceeds_the_cap(self):
+        for attempt in range(40):
+            assert backoff_delay(attempt, base=0.5, cap=3.0,
+                                 salt="x") <= 3.0
+
+    def test_jitter_bounds(self):
+        for attempt in range(10):
+            bare = 0.05 * (2.0 ** attempt)
+            delay = backoff_delay(attempt, base=0.05, cap=1e9,
+                                  salt=f"s{attempt}")
+            assert bare <= delay <= bare * (1.0 + JITTER_SPREAD)
+
+    def test_deterministic_for_same_inputs(self):
+        assert backoff_delay(3, base=0.1, salt="worker-7") \
+            == backoff_delay(3, base=0.1, salt="worker-7")
+
+    def test_salt_decorrelates_workers(self):
+        """Different worker identities must not retry in lockstep:
+        at least one attempt in a short schedule differs."""
+        a = [backoff_delay(n, base=0.1, salt="w0") for n in range(6)]
+        b = [backoff_delay(n, base=0.1, salt="w1") for n in range(6)]
+        assert a != b
+
+    @pytest.mark.parametrize("kwargs", [
+        {"attempt": -1, "base": 0.1},
+        {"attempt": 0, "base": 0.0},
+        {"attempt": 0, "base": -1.0},
+        {"attempt": 0, "base": 0.1, "cap": 0.0},
+    ])
+    def test_invalid_arguments_raise(self, kwargs):
+        attempt = kwargs.pop("attempt")
+        with pytest.raises(ValueError):
+            backoff_delay(attempt, **kwargs)

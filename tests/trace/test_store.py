@@ -210,6 +210,59 @@ class TestGc:
         assert store.total_bytes() == 0
 
 
+class TestGcReplicationRace:
+    """gc racing a concurrent fetcher: live ``.part`` files and freshly
+    admitted entries are exempt, abandoned ones are reclaimed."""
+
+    def _partial(self, store, name, age_seconds=0.0):
+        staging = store.root / store_module.PARTIAL_DIR
+        staging.mkdir(exist_ok=True)
+        part = staging / f"{name}.part"
+        part.write_bytes(b"half an archive")
+        if age_seconds:
+            past = time.time() - age_seconds
+            os.utime(part, (past, past))
+        return part
+
+    def test_fresh_part_file_survives_gc(self, tmp_path):
+        store = TraceStore(tmp_path)
+        live = self._partial(store, "inflight.npz")
+        assert store.gc() == []
+        assert live.exists()
+
+    def test_abandoned_part_file_is_reclaimed(self, tmp_path):
+        store = TraceStore(tmp_path)
+        orphan = self._partial(
+            store, "orphan.npz",
+            age_seconds=2 * TraceStore._SCRATCH_MAX_AGE_SECONDS)
+        live = self._partial(store, "inflight.npz")
+        assert store.gc() == [orphan]
+        assert live.exists()
+
+    def test_remove_all_clears_partials(self, tmp_path):
+        store = TraceStore(tmp_path)
+        live = self._partial(store, "inflight.npz")
+        assert live in store.gc(remove_all=True)
+        assert not live.exists()
+
+    def test_budget_eviction_spares_freshly_admitted_entries(
+            self, tmp_path):
+        """A budgeted gc racing the fetcher that just admitted (or the
+        reader about to open) an archive must not evict it: entries
+        inside the grace window stay even over budget."""
+        store = TraceStore(tmp_path)
+        first = store.put(KEY, bundle_for(KEY))
+        other = KEY._replace(seed=8)
+        second = store.put(other, bundle_for(other))
+        assert store.gc(max_bytes=1) == []
+        assert first.exists() and second.exists()
+        # Once the grace lapses, LRU eviction applies as usual.
+        past = time.time() - 2 * TraceStore._FRESH_GRACE_SECONDS
+        os.utime(first, (past, past))
+        assert store.gc(max_bytes=second.stat().st_size) == [first]
+        assert second.exists()
+
+
 class TestEnvConfiguration:
     def test_explicit_root(self, monkeypatch, tmp_path):
         monkeypatch.setenv(store_module.STORE_ENV, str(tmp_path / "s"))
